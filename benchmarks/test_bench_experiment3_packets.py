@@ -1,0 +1,55 @@
+"""Figure 8: control packets transmitted per interval, B-Neck vs. BFYZ.
+
+Reproduced qualitative findings:
+
+* while sessions are still converging, B-Neck injects a comparable amount of
+  control traffic to BFYZ;
+* as soon as the sessions converge, B-Neck's traffic drops to zero (it is
+  quiescent), whereas BFYZ keeps injecting the same number of packets per
+  interval forever because it cannot detect convergence.
+"""
+
+from repro.experiments.experiment3 import Experiment3Config, run_experiment3
+
+CONFIG = Experiment3Config(
+    size="medium",
+    initial_sessions=250,
+    leave_count=25,
+    churn_window=5e-3,
+    sample_interval=3e-3,
+    horizon=60e-3,
+    protocols=("bneck", "bfyz"),
+    seed=9,
+)
+
+
+def test_figure8_packets_per_interval(benchmark, print_table):
+    result = benchmark.pedantic(run_experiment3, args=(CONFIG,), iterations=1, rounds=1)
+    bneck = result.series("bneck")
+    bfyz = result.series("bfyz")
+
+    # B-Neck becomes quiescent; BFYZ does not.
+    assert bneck.quiescent
+    assert not bfyz.quiescent
+
+    # In the last third of the run B-Neck transmits nothing, BFYZ keeps going.
+    horizon = CONFIG.horizon
+    tail_start = 2.0 * horizon / 3.0
+    bneck_tail = sum(total for start, total in bneck.packets_series if start >= tail_start)
+    bfyz_tail = sum(total for start, total in bfyz.packets_series if start >= tail_start)
+    assert bneck_tail == 0
+    assert bfyz_tail > 0
+
+    # Overall BFYZ transmits (much) more than B-Neck over the horizon.
+    assert bfyz.total_packets > bneck.total_packets
+
+    lines = ["interval start [ms]   B-Neck packets   BFYZ packets"]
+    bfyz_by_start = dict(bfyz.packets_series)
+    for start, total in bneck.packets_series:
+        lines.append(
+            "%8.1f %20d %16d" % (start * 1e3, total, bfyz_by_start.get(start, 0))
+        )
+    lines.append(
+        "TOTAL    %20d %16d" % (bneck.total_packets, bfyz.total_packets)
+    )
+    print_table("Figure 8 -- packets transmitted per interval", "\n".join(lines))

@@ -1,0 +1,92 @@
+"""Ablation: B-Neck cost on canonical topologies and delay models.
+
+Beyond the transit-stub networks of the paper's evaluation, this bench profiles
+the protocol on the canonical topologies (single bottleneck, parking lot,
+dumbbell) where the max-min structure is fully understood, and quantifies two
+design-relevant sensitivities:
+
+* packets per session as the amount of session interaction grows (sessions
+  sharing one bottleneck vs. sessions chained along a parking lot);
+* the effect of propagation delay on the number of probe cycles (slower WAN
+  links mean fewer, more up-to-date probe cycles -- the reason the paper's WAN
+  scenarios transmit fewer packets than LAN).
+"""
+
+from repro.core.protocol import BNeckProtocol
+from repro.core.validation import validate_against_oracle
+from repro.network.topology import dumbbell_topology, parking_lot_topology
+from repro.network.units import MBPS
+from repro.simulator.clock import microseconds, milliseconds
+
+
+def _single_bottleneck_run(session_count, propagation_delay):
+    network = dumbbell_topology(
+        side_count=session_count, bottleneck_capacity=100 * MBPS, delay=propagation_delay
+    )
+    protocol = BNeckProtocol(network)
+    for index in range(session_count):
+        source = network.attach_host("west%d" % index, 1000 * MBPS, microseconds(1))
+        sink = network.attach_host("east%d" % index, 1000 * MBPS, microseconds(1))
+        protocol.open_session(source.node_id, sink.node_id, session_id="d%d" % index)
+    protocol.run_until_quiescent()
+    assert validate_against_oracle(protocol).valid
+    return protocol.tracer.total
+
+
+def _parking_lot_run(hop_count):
+    network = parking_lot_topology(hop_count, capacity=100 * MBPS)
+    protocol = BNeckProtocol(network)
+    long_source = network.attach_host("r0", 1000 * MBPS, microseconds(1))
+    long_sink = network.attach_host("r%d" % hop_count, 1000 * MBPS, microseconds(1))
+    protocol.open_session(long_source.node_id, long_sink.node_id, session_id="long")
+    for hop in range(hop_count):
+        source = network.attach_host("r%d" % hop, 1000 * MBPS, microseconds(1))
+        sink = network.attach_host("r%d" % (hop + 1), 1000 * MBPS, microseconds(1))
+        protocol.open_session(source.node_id, sink.node_id, session_id="short%d" % hop)
+    protocol.run_until_quiescent()
+    assert validate_against_oracle(protocol).valid
+    return protocol.tracer.total
+
+
+def test_single_bottleneck_scaling(benchmark, print_table):
+    def sweep():
+        return {count: _single_bottleneck_run(count, microseconds(1)) for count in (10, 50, 200)}
+
+    packets = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    lines = ["sessions  packets  packets/session"]
+    for count, total in packets.items():
+        lines.append("%8d  %7d  %.1f" % (count, total, total / float(count)))
+    print_table("Ablation -- one shared bottleneck, LAN delays", "\n".join(lines))
+    # All sessions share a single bottleneck: a constant number of probe
+    # cycles per session suffices, so packets grow about linearly.
+    per_session = [total / float(count) for count, total in packets.items()]
+    assert max(per_session) <= 4 * min(per_session)
+
+
+def test_parking_lot_scaling(benchmark, print_table):
+    def sweep():
+        return {hops: _parking_lot_run(hops) for hops in (2, 4, 8, 16)}
+
+    packets = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    lines = ["hops  packets"]
+    for hops, total in packets.items():
+        lines.append("%4d  %7d" % (hops, total))
+    print_table("Ablation -- parking lot, growing chain length", "\n".join(lines))
+    totals = list(packets.values())
+    assert totals == sorted(totals)
+
+
+def test_wan_delay_reduces_packets(benchmark, print_table):
+    def compare():
+        lan = _single_bottleneck_run(100, microseconds(1))
+        wan = _single_bottleneck_run(100, milliseconds(5))
+        return lan, wan
+
+    lan_packets, wan_packets = benchmark.pedantic(compare, iterations=1, rounds=1)
+    print_table(
+        "Ablation -- effect of propagation delay (100 sessions, one bottleneck)",
+        "LAN packets: %d\nWAN packets: %d" % (lan_packets, wan_packets),
+    )
+    # Slow links slow down probe cycles, so fewer probes are wasted on stale
+    # configurations: the WAN run never needs more packets than the LAN run.
+    assert wan_packets <= lan_packets

@@ -1,0 +1,63 @@
+"""B-Neck against the non-quiescent protocols (Experiment 3 in miniature).
+
+Runs an identical churn workload (a mass join with a partial leave in the first
+five milliseconds) under B-Neck, BFYZ, CG and RCP on the Small/LAN network, and
+prints, for each protocol:
+
+* when (and whether) it converged to within 1% of the max-min fair rates;
+* whether it became quiescent;
+* the control packets it transmitted, in total and in the final third of the
+  run (where B-Neck transmits nothing at all).
+
+Run with::
+
+    python examples/baseline_comparison.py
+"""
+
+from repro.experiments.experiment3 import Experiment3Config, run_experiment3
+from repro.experiments.reporting import format_experiment3_table
+
+
+def main():
+    config = Experiment3Config(
+        size="small",
+        initial_sessions=120,
+        leave_count=12,
+        churn_window=5e-3,
+        sample_interval=3e-3,
+        horizon=60e-3,
+        protocols=("bneck", "bfyz", "cg", "rcp"),
+        seed=23,
+    )
+    result = run_experiment3(
+        config, progress=lambda series: print("finished %s" % series.name)
+    )
+    print()
+    print(format_experiment3_table(result))
+    print()
+    print("summary:")
+    tail_start = 2.0 * config.horizon / 3.0
+    for name in result.protocol_names():
+        series = result.series(name)
+        tail_packets = sum(
+            total for start, total in series.packets_series if start >= tail_start
+        )
+        convergence = (
+            "%.1f ms" % (series.convergence_time * 1e3)
+            if series.convergence_time is not None
+            else "never (within the horizon)"
+        )
+        print(
+            "  %-6s converged: %-26s quiescent: %-3s packets: %6d (last third: %d)"
+            % (
+                name,
+                convergence,
+                "yes" if series.quiescent else "no",
+                series.total_packets,
+                tail_packets,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` also works in offline environments that lack the
+``wheel`` package required by PEP 517 editable builds
+(``pip install -e . --no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of B-Neck: a distributed and quiescent max-min fair algorithm"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

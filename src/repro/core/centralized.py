@@ -1,0 +1,103 @@
+"""Centralized B-Neck (Figure 1 of the paper).
+
+The centralized algorithm discovers bottleneck links iteratively, in increasing
+order of their bottleneck rates: at every round it computes, for each remaining
+link, the estimate ``B_e = (C_e - sum of already-fixed rates crossing e) / |R_e|``,
+fixes the rate of every session crossing a link whose estimate is minimal, and
+removes those links from consideration.
+
+It is used exactly as in the paper's evaluation: "every B-Neck execution result
+... has been successfully validated against the result obtained when executing
+the centralized version with the same input data".
+
+Maximum-rate requests are handled through the paper's *modified system*: each
+session with a finite requested rate gets a private virtual link of capacity
+``D_s = min(r_s, C_e0)`` prepended to its path.
+"""
+
+from repro.fairness.algebra import default_algebra
+from repro.fairness.allocation import RateAllocation
+
+
+def _build_link_table(sessions, algebra):
+    """Map link key -> (capacity, set of crossing session ids).
+
+    Real links are keyed by their endpoints; the virtual demand link of a
+    session ``s`` is keyed by ``("demand", s)``.  Capacities are lifted into
+    the algebra's number type so division chains stay exact under ExactAlgebra.
+    """
+    import math
+
+    capacities = {}
+    members = {}
+    for session in sessions:
+        for link in session.links:
+            key = link.endpoints
+            capacities[key] = algebra.divide(link.capacity, 1)
+            members.setdefault(key, set()).add(session.session_id)
+        demand = session.effective_demand()
+        if not math.isinf(demand):
+            key = ("demand", session.session_id)
+            capacities[key] = algebra.divide(demand, 1)
+            members[key] = {session.session_id}
+    return capacities, members
+
+
+def centralized_bneck(sessions, algebra=None):
+    """Compute the max-min fair rates of ``sessions`` with Centralized B-Neck.
+
+    Args:
+        sessions: iterable of :class:`~repro.network.session.Session`.
+        algebra: optional :class:`~repro.fairness.algebra.RateAlgebra`.
+
+    Returns:
+        A :class:`~repro.fairness.allocation.RateAllocation`.
+    """
+    algebra = algebra or default_algebra()
+    sessions = list(sessions)
+    allocation = RateAllocation(algebra=algebra)
+    if not sessions:
+        return allocation
+
+    capacities, members = _build_link_table(sessions, algebra)
+
+    restricted = {key: set(ids) for key, ids in members.items()}   # R_e
+    fixed = {key: set() for key in members}                        # F_e
+    rates = {}                                                     # lambda*_s
+    live_links = {key for key, ids in restricted.items() if ids}
+
+    # Each round fixes the rate of at least one session, so the loop runs at
+    # most once per session.
+    for _ in range(len(sessions) + 1):
+        if not live_links:
+            break
+        estimates = {}
+        for key in live_links:
+            already_fixed = sum(rates[s] for s in fixed[key])
+            estimates[key] = algebra.divide(
+                capacities[key] - already_fixed, len(restricted[key])
+            )
+        minimum = algebra.minimum(estimates.values())
+        minimal_links = {
+            key for key in live_links if algebra.equal(estimates[key], minimum)
+        }
+        newly_fixed = set()
+        for key in minimal_links:
+            newly_fixed |= restricted[key]
+        for session_id in newly_fixed:
+            rates[session_id] = minimum
+        remaining = live_links - minimal_links
+        for key in remaining:
+            moved = restricted[key] & newly_fixed
+            fixed[key] |= moved
+            restricted[key] -= moved
+        live_links = {key for key in remaining if restricted[key]}
+    else:
+        if live_links:
+            raise RuntimeError("Centralized B-Neck did not terminate")
+
+    for session in sessions:
+        # A session crossing only unsaturated links with infinite demand cannot
+        # occur over real (finite-capacity) links, so every session has a rate.
+        allocation.set_rate(session.session_id, rates[session.session_id])
+    return allocation

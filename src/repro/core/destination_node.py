@@ -1,0 +1,58 @@
+"""The DestinationNode task (Figure 4 of the paper).
+
+The destination node closes Probe cycles (turning a ``Join``/``Probe`` into an
+upstream ``Response``) and detects the no-bottleneck-found condition: when a
+``SetBottleneck`` arrives with ``beta`` still false, the network changed while
+the packet was travelling and the session must run a new Probe cycle, which the
+destination requests with an upstream ``Update``.
+"""
+
+from repro.core.packets import (
+    Join,
+    Leave,
+    Probe,
+    RESPONSE,
+    Response,
+    SetBottleneck,
+    Update,
+)
+from repro.simulator.process import Process
+
+
+class DestinationNodeTask(Process):
+    """Runs the B-Neck destination algorithm for one session."""
+
+    def __init__(self, simulator, protocol, session):
+        super(DestinationNodeTask, self).__init__(
+            simulator, "DN(%s)" % session.session_id
+        )
+        self.protocol = protocol
+        self.session = session
+        self.session_id = session.session_id
+        # The destination sits past the last link of the path.
+        self.link_id = ("destination", session.session_id)
+        self.closed_probe_cycles = 0
+        self.no_bottleneck_updates = 0
+        self.left = False
+
+    def _send_upstream(self, packet):
+        self.protocol.forward_upstream_from_destination(self.session_id, packet)
+
+    def receive(self, message, sender):
+        if self.left:
+            return
+        if isinstance(message, (Join, Probe)):
+            # Figure 4, lines 3-7: close the Probe cycle.
+            self.closed_probe_cycles += 1
+            self._send_upstream(
+                Response(message.session_id, RESPONSE, message.rate, message.restricting_link)
+            )
+        elif isinstance(message, SetBottleneck):
+            # Figure 4, lines 9-10: no link confirmed a bottleneck -> re-probe.
+            if not message.found_bottleneck:
+                self.no_bottleneck_updates += 1
+                self._send_upstream(Update(message.session_id))
+        elif isinstance(message, Leave):
+            self.left = True
+        else:
+            raise TypeError("%s cannot handle %r" % (self.name, message))

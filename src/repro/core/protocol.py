@@ -1,0 +1,317 @@
+"""The B-Neck protocol orchestrator.
+
+:class:`BNeckProtocol` glues the three task types of Section III-C to a
+network and a discrete-event simulator:
+
+* it instantiates one :class:`~repro.core.router_link.RouterLinkTask` per
+  directed link crossed by some session, one
+  :class:`~repro.core.source_node.SourceNodeTask` and one
+  :class:`~repro.core.destination_node.DestinationNodeTask` per session;
+* it routes packets hop by hop along session paths (downstream) and reverse
+  paths (upstream), applying each link's control-packet delay and accounting
+  every transmission in a :class:`~repro.simulator.tracing.PacketTracer`;
+* it exposes the session API (``join`` / ``leave`` / ``change``), records every
+  ``API.Rate`` notification, and provides quiescence and allocation helpers
+  used by the experiments and tests.
+"""
+
+import math
+
+from repro.core.api import RateNotification, SessionApplication
+from repro.core.destination_node import DestinationNodeTask
+from repro.core.router_link import RouterLinkTask
+from repro.core.source_node import SourceNodeTask
+from repro.fairness.algebra import default_algebra
+from repro.fairness.allocation import RateAllocation
+from repro.network.routing import PathComputer, path_links
+from repro.network.session import Session, SessionRegistry
+from repro.simulator.simulation import Simulator
+from repro.simulator.tracing import PacketTracer
+
+DOWNSTREAM = "downstream"
+UPSTREAM = "upstream"
+
+
+class _SessionWiring(object):
+    """Per-session forwarding table: ordered protocol stages and path links."""
+
+    __slots__ = ("session", "stages", "links", "index_by_key")
+
+    def __init__(self, session, stages, links):
+        self.session = session
+        self.stages = stages
+        self.links = links
+        self.index_by_key = {}
+        # Stage 0 (the source) is addressed by the access link it owns; stages
+        # 1..k by the link their RouterLink controls; the destination by a
+        # dedicated key.
+        self.index_by_key[links[0].endpoints] = 0
+        for position in range(1, len(links)):
+            self.index_by_key[links[position].endpoints] = position
+        self.index_by_key[("destination", session.session_id)] = len(links)
+
+
+class BNeckProtocol(object):
+    """B-Neck running over a network on a discrete-event simulator.
+
+    Args:
+        network: the :class:`~repro.network.graph.Network` to run over.
+        simulator: optional simulator (one is created if omitted).
+        algebra: optional rate algebra; defaults to tolerance-based floats.
+        tracer: optional :class:`~repro.simulator.tracing.PacketTracer`.
+        routing_metric: ``"hops"`` (paper default) or ``"delay"``.
+    """
+
+    def __init__(self, network, simulator=None, algebra=None, tracer=None, routing_metric="hops"):
+        self.network = network
+        self.simulator = simulator or Simulator()
+        self.algebra = algebra or default_algebra()
+        self.tracer = tracer or PacketTracer()
+        self.registry = SessionRegistry()
+        self.path_computer = PathComputer(network, metric=routing_metric)
+        self._router_links = {}
+        self._sources = {}
+        self._destinations = {}
+        self._applications = {}
+        self._wirings = {}
+        self._sessions = {}
+        self._last_rate = {}
+        self.notifications = []
+        self.in_flight_packets = 0
+        self._session_counter = 0
+
+    # ------------------------------------------------------------------ sessions
+
+    def create_session(self, source_host, destination_host, demand=math.inf, session_id=None):
+        """Build a :class:`~repro.network.session.Session` along the shortest path.
+
+        This only constructs the object; call :meth:`join` to activate it.
+        """
+        if session_id is None:
+            self._session_counter += 1
+            session_id = "session-%d" % self._session_counter
+        node_path = self.path_computer.route(source_host, destination_host)
+        links = path_links(self.network, node_path)
+        session = Session(session_id, source_host, destination_host, node_path, links, demand)
+        return session
+
+    def join(self, session, at=None, application=None):
+        """``API.Join``: activate a session, optionally at a future time.
+
+        Returns the :class:`~repro.core.api.SessionApplication` that will
+        receive the session's ``API.Rate`` notifications.
+        """
+        if session.session_id in self._sessions:
+            raise ValueError("session %r already joined" % session.session_id)
+        if application is None:
+            application = SessionApplication(session.session_id, session.demand)
+        self._sessions[session.session_id] = session
+        self._applications[session.session_id] = application
+
+        source = SourceNodeTask(self.simulator, self, session, self.algebra)
+        destination = DestinationNodeTask(self.simulator, self, session)
+        self._sources[session.session_id] = source
+        self._destinations[session.session_id] = destination
+
+        stages = [source]
+        for link in session.transit_links:
+            stages.append(self._router_link_for(link))
+        stages.append(destination)
+        self._wirings[session.session_id] = _SessionWiring(session, stages, session.links)
+
+        def activate():
+            self.registry.add(session)
+            source.api_join(session.demand)
+
+        self._schedule_api_call(activate, at, "API.Join")
+        return application
+
+    def leave(self, session_id, at=None):
+        """``API.Leave``: terminate an active session, optionally at a future time."""
+        source = self._sources[session_id]
+
+        def deactivate():
+            if session_id in self.registry:
+                self.registry.remove(session_id)
+            source.api_leave()
+
+        self._schedule_api_call(deactivate, at, "API.Leave")
+
+    def change(self, session_id, requested_rate, at=None):
+        """``API.Change``: request a new maximum rate, optionally at a future time."""
+        source = self._sources[session_id]
+        session = self._sessions[session_id]
+
+        def apply_change():
+            session.demand = requested_rate
+            source.api_change(requested_rate)
+
+        self._schedule_api_call(apply_change, at, "API.Change")
+
+    def open_session(self, source_host, destination_host, demand=math.inf, session_id=None, at=None):
+        """Create and immediately join a session; returns ``(session, application)``."""
+        session = self.create_session(source_host, destination_host, demand, session_id)
+        application = self.join(session, at=at)
+        return session, application
+
+    def _schedule_api_call(self, callback, at, tag):
+        if at is None or at <= self.simulator.now:
+            callback()
+        else:
+            self.simulator.schedule_at(at, callback, tag=tag)
+
+    def _router_link_for(self, link):
+        key = link.endpoints
+        if key not in self._router_links:
+            self._router_links[key] = RouterLinkTask(self.simulator, self, link, self.algebra)
+        return self._router_links[key]
+
+    # ---------------------------------------------------------------- forwarding
+
+    def forward_downstream(self, link_id, packet):
+        """Deliver ``packet`` to the next stage of its session's path."""
+        wiring = self._wirings[packet.session_id]
+        index = wiring.index_by_key[link_id]
+        crossing = wiring.links[index]
+        target = wiring.stages[index + 1]
+        self._transmit(packet, crossing, target, DOWNSTREAM)
+
+    def forward_upstream(self, link_id, packet):
+        """Deliver ``packet`` to the previous stage of its session's path."""
+        wiring = self._wirings[packet.session_id]
+        index = wiring.index_by_key[link_id]
+        if index == 0:
+            # The source is the first stage; nothing lies upstream of it.
+            return
+        crossing = self.network.reverse_link(wiring.links[index - 1])
+        target = wiring.stages[index - 1]
+        self._transmit(packet, crossing, target, UPSTREAM)
+
+    # A RouterLink that originates an Update/Bottleneck for *another* session
+    # uses the same routing logic: the packet starts at this link's position in
+    # that session's path and travels towards that session's source.
+    send_upstream_from = forward_upstream
+
+    def forward_upstream_from_destination(self, session_id, packet):
+        """Deliver a packet sent upstream by the destination node."""
+        wiring = self._wirings[session_id]
+        crossing = self.network.reverse_link(wiring.links[-1])
+        target = wiring.stages[-2]
+        self._transmit(packet, crossing, target, UPSTREAM)
+
+    def _transmit(self, packet, link, target, direction):
+        now = self.simulator.now
+        self.tracer.record(
+            now,
+            packet.type_name,
+            packet.session_id,
+            link=link.endpoints,
+            direction=direction,
+        )
+        self.in_flight_packets += 1
+        delay = link.control_delay()
+
+        def deliver():
+            self.in_flight_packets -= 1
+            target.receive(packet, None)
+
+        self.simulator.schedule(delay, deliver, tag=packet.type_name)
+
+    # --------------------------------------------------------------- API.Rate
+
+    def notify_rate(self, session_id, rate):
+        """Record an ``API.Rate`` invocation and deliver it to the application."""
+        time = self.simulator.now
+        notification = RateNotification(time, session_id, rate)
+        self.notifications.append(notification)
+        self._last_rate[session_id] = rate
+        application = self._applications.get(session_id)
+        if application is not None:
+            application.deliver_rate(time, rate)
+        return notification
+
+    def last_notified_rate(self, session_id):
+        """The last rate notified to a session (``None`` before the first)."""
+        return self._last_rate.get(session_id)
+
+    # -------------------------------------------------------------- inspection
+
+    def source(self, session_id):
+        """The SourceNode task of a session."""
+        return self._sources[session_id]
+
+    def destination(self, session_id):
+        """The DestinationNode task of a session."""
+        return self._destinations[session_id]
+
+    def router_link(self, endpoints):
+        """The RouterLink task controlling the directed link ``endpoints``."""
+        return self._router_links[endpoints]
+
+    def router_link_states(self):
+        """The :class:`~repro.core.state.LinkState` of every RouterLink task."""
+        return [task.state for task in self._router_links.values()]
+
+    def all_link_states(self):
+        """Every link state: RouterLinks plus the access links owned by sources
+        of currently active sessions."""
+        states = list(self.router_link_states())
+        for session in self.registry:
+            source = self._sources.get(session.session_id)
+            if source is not None:
+                states.append(source.state)
+        return states
+
+    def application(self, session_id):
+        return self._applications[session_id]
+
+    def session(self, session_id):
+        return self._sessions[session_id]
+
+    # -------------------------------------------------------------- allocation
+
+    def current_allocation(self):
+        """The rate each active session currently believes it may use.
+
+        Before a session's first Response this is 0 (B-Neck is conservative:
+        transient rates never exceed the final max-min rates).
+        """
+        allocation = RateAllocation(algebra=self.algebra)
+        for session in self.registry:
+            source = self._sources[session.session_id]
+            allocation.set_rate(session.session_id, source.current_rate())
+        return allocation
+
+    def notified_allocation(self):
+        """The last ``API.Rate`` value of every active session (0 if none yet)."""
+        allocation = RateAllocation(algebra=self.algebra)
+        for session in self.registry:
+            rate = self._last_rate.get(session.session_id, 0.0)
+            allocation.set_rate(session.session_id, rate)
+        return allocation
+
+    def active_sessions(self):
+        """The currently active sessions (the paper's set ``S``)."""
+        return self.registry.active_sessions()
+
+    # --------------------------------------------------------------- execution
+
+    @property
+    def quiescent(self):
+        """True when no event (packet delivery or pending API call) remains."""
+        return self.simulator.pending_events == 0
+
+    def run_until_quiescent(self):
+        """Run until the event queue drains; returns the quiescence time."""
+        return self.simulator.run_until_quiescent()
+
+    def run(self, until=None, stop_condition=None):
+        """Run up to a time horizon (used when mixing with workload schedules)."""
+        return self.simulator.run(until=until, stop_condition=stop_condition)
+
+    def __repr__(self):
+        return "BNeckProtocol(network=%r, sessions=%d, now=%r)" % (
+            self.network.name,
+            len(self.registry),
+            self.simulator.now,
+        )

@@ -1,0 +1,254 @@
+"""The RouterLink task (Figure 2 of the paper).
+
+One RouterLink instance controls one directed link and keeps per-session state
+for every session whose path crosses the link.  Its handlers are a line-by-line
+transcription of Figure 2, with two presentational differences:
+
+* rate comparisons go through the configured
+  :class:`~repro.fairness.algebra.RateAlgebra` instead of raw ``==``/``<``;
+* packet forwarding is delegated to the protocol orchestrator
+  (:class:`~repro.core.protocol.BNeckProtocol`), which knows each session's
+  path and the per-hop link delays.
+"""
+
+from repro.core.packets import (
+    BOTTLENECK,
+    Bottleneck,
+    Join,
+    Leave,
+    Probe,
+    Response,
+    SetBottleneck,
+    UPDATE,
+    Update,
+)
+from repro.core.state import IDLE, LinkState, WAITING_PROBE, WAITING_RESPONSE
+from repro.simulator.process import Process
+
+
+class RouterLinkTask(Process):
+    """Runs the B-Neck link algorithm for one directed link."""
+
+    def __init__(self, simulator, protocol, link, algebra):
+        super(RouterLinkTask, self).__init__(simulator, "RL(%s->%s)" % link.endpoints)
+        self.protocol = protocol
+        self.link = link
+        self.link_id = link.endpoints
+        self.state = LinkState(self.link_id, link.capacity, algebra)
+        self.algebra = algebra
+
+    # ----------------------------------------------------------- dispatching
+
+    def receive(self, message, sender):
+        handlers = {
+            Join: self.on_join,
+            Probe: self.on_probe,
+            Response: self.on_response,
+            Update: self.on_update,
+            Bottleneck: self.on_bottleneck,
+            SetBottleneck: self.on_set_bottleneck,
+            Leave: self.on_leave,
+        }
+        handler = handlers.get(type(message))
+        if handler is None:
+            raise TypeError("%s cannot handle %r" % (self.name, message))
+        handler(message)
+
+    # ----------------------------------------------------- downstream helpers
+
+    def _send_downstream(self, packet):
+        self.protocol.forward_downstream(self.link_id, packet)
+
+    def _send_upstream(self, packet):
+        self.protocol.forward_upstream(self.link_id, packet)
+
+    def _send_upstream_update(self, session_id):
+        """Send an Update for *another* session towards its own source."""
+        self.protocol.send_upstream_from(self.link_id, Update(session_id))
+
+    def _send_upstream_bottleneck(self, session_id):
+        """Send a Bottleneck for *another* session towards its own source."""
+        self.protocol.send_upstream_from(self.link_id, Bottleneck(session_id))
+
+    # -------------------------------------------------- ProcessNewRestricted
+
+    def process_new_restricted(self):
+        """Figure 2, lines 4-10.
+
+        Move back into ``R_e`` every session recorded in ``F_e`` whose rate is
+        not actually below the current bottleneck rate (highest rates first,
+        recomputing ``B_e`` after each move), then ask every settled session in
+        ``R_e`` whose recorded rate exceeds ``B_e`` to run a new Probe cycle.
+        """
+        state = self.state
+        while True:
+            rate = state.bottleneck_rate()
+            offenders = [
+                session_id
+                for session_id in state.unrestricted
+                if state.rate_of(session_id) is not None
+                and self.algebra.greater_equal(state.rate_of(session_id), rate)
+            ]
+            if not offenders:
+                break
+            largest = max(state.rate_of(session_id) for session_id in offenders)
+            moved = {
+                session_id
+                for session_id in state.unrestricted
+                if state.rate_of(session_id) is not None
+                and self.algebra.equal(state.rate_of(session_id), largest)
+            }
+            for session_id in moved:
+                state.add_restricted(session_id)
+
+        rate = state.bottleneck_rate()
+        for session_id in sorted(state.restricted):
+            if (
+                state.state_of(session_id) == IDLE
+                and state.rate_of(session_id) is not None
+                and self.algebra.greater(state.rate_of(session_id), rate)
+            ):
+                state.set_state(session_id, WAITING_PROBE)
+                self._send_upstream_update(session_id)
+
+    # ---------------------------------------------------------------- handlers
+
+    def on_join(self, packet):
+        """Figure 2, lines 12-16."""
+        state = self.state
+        state.add_restricted(packet.session_id)
+        state.set_state(packet.session_id, WAITING_RESPONSE)
+        self.process_new_restricted()
+        rate = state.bottleneck_rate()
+        forwarded_rate = packet.rate
+        forwarded_eta = packet.restricting_link
+        if self.algebra.greater(forwarded_rate, rate):
+            forwarded_rate = rate
+            forwarded_eta = self.link_id
+        self._send_downstream(Join(packet.session_id, forwarded_rate, forwarded_eta))
+
+    def on_probe(self, packet):
+        """Figure 2, lines 30-36."""
+        state = self.state
+        state.set_state(packet.session_id, WAITING_RESPONSE)
+        if packet.session_id in state.unrestricted:
+            state.add_restricted(packet.session_id)
+        self.process_new_restricted()
+        rate = state.bottleneck_rate()
+        forwarded_rate = packet.rate
+        forwarded_eta = packet.restricting_link
+        if self.algebra.greater(forwarded_rate, rate):
+            forwarded_rate = rate
+            forwarded_eta = self.link_id
+        self._send_downstream(Probe(packet.session_id, forwarded_rate, forwarded_eta))
+
+    def on_response(self, packet):
+        """Figure 2, lines 18-28."""
+        state = self.state
+        session_id = packet.session_id
+        tau = packet.tau
+        rate = packet.rate
+        eta = packet.restricting_link
+
+        if tau == UPDATE:
+            state.set_state(session_id, WAITING_PROBE)
+        else:
+            local_rate = state.bottleneck_rate()
+            restricted_here = eta == self.link_id
+            accepted = (
+                restricted_here and self.algebra.equal(rate, local_rate)
+            ) or (not restricted_here and self.algebra.less_equal(rate, local_rate))
+            if accepted:
+                state.set_state(session_id, IDLE)
+                state.set_rate(session_id, rate)
+            else:
+                # Either this link believed it was the restriction but its
+                # bottleneck rate changed meanwhile, or the rate now exceeds
+                # the local bottleneck rate: ask for a new Probe cycle.
+                tau = UPDATE
+                state.set_state(session_id, WAITING_PROBE)
+            if state.all_restricted_settled():
+                tau = BOTTLENECK
+                eta = self.link_id
+                for other_id in sorted(state.restricted):
+                    if other_id != session_id:
+                        self._send_upstream_bottleneck(other_id)
+        self._send_upstream(Response(session_id, tau, rate, eta))
+
+    def on_update(self, packet):
+        """Figure 2, lines 38-40."""
+        state = self.state
+        if state.state_of(packet.session_id) == IDLE:
+            state.set_state(packet.session_id, WAITING_PROBE)
+            self._send_upstream(Update(packet.session_id))
+
+    def on_bottleneck(self, packet):
+        """Figure 2, lines 42-43."""
+        state = self.state
+        if (
+            state.state_of(packet.session_id) == IDLE
+            and packet.session_id in state.restricted
+        ):
+            self._send_upstream(Bottleneck(packet.session_id))
+
+    def on_set_bottleneck(self, packet):
+        """Figure 2, lines 45-55."""
+        state = self.state
+        session_id = packet.session_id
+        rate = state.bottleneck_rate()
+        recorded = state.rate_of(session_id)
+
+        if state.all_restricted_settled():
+            # This link is itself a bottleneck, so a bottleneck exists for the
+            # session: forward with beta = TRUE.
+            self._send_downstream(SetBottleneck(session_id, True))
+            return
+        if (
+            state.state_of(session_id) == IDLE
+            and recorded is not None
+            and self.algebra.less(recorded, rate)
+        ):
+            # The session is not restricted here: move it to F_e and wake the
+            # sessions that were settled at the old bottleneck rate, since the
+            # recomputed B_e can only grow.
+            settled = [
+                other_id
+                for other_id in sorted(state.restricted)
+                if state.state_of(other_id) == IDLE
+                and state.rate_of(other_id) is not None
+                and self.algebra.equal(state.rate_of(other_id), rate)
+            ]
+            for other_id in settled:
+                state.set_state(other_id, WAITING_PROBE)
+                self._send_upstream_update(other_id)
+            state.add_unrestricted(session_id)
+            self._send_downstream(SetBottleneck(session_id, packet.found_bottleneck))
+            return
+        if (
+            state.state_of(session_id) == IDLE
+            and recorded is not None
+            and self.algebra.equal(recorded, rate)
+        ):
+            self._send_downstream(SetBottleneck(session_id, packet.found_bottleneck))
+            return
+        # Otherwise a new Probe cycle for the session is already under way at
+        # this link; the stale SetBottleneck is dropped.
+
+    def on_leave(self, packet):
+        """Figure 2, lines 57-62."""
+        state = self.state
+        session_id = packet.session_id
+        rate = state.bottleneck_rate()
+        to_update = [
+            other_id
+            for other_id in sorted(state.restricted)
+            if other_id != session_id
+            and state.state_of(other_id) == IDLE
+            and state.rate_of(other_id) is not None
+            and self.algebra.equal(state.rate_of(other_id), rate)
+        ]
+        state.forget(session_id)
+        for other_id in to_update:
+            state.set_state(other_id, WAITING_PROBE)
+            self._send_upstream_update(other_id)
+        self._send_downstream(Leave(session_id))

@@ -1,0 +1,166 @@
+"""The SourceNode task (Figure 3 of the paper).
+
+The source node of a session owns the session's *access link* (the dedicated
+host-to-router link ``e``): it keeps the same ``R_e``/``F_e``/``mu``/``lambda``
+state a RouterLink keeps, but only for its own session, plus
+
+* ``D_s = min(r, C_e)`` -- the effective demand used to start Probe cycles;
+* ``update_received`` (the paper's ``upd_rcv``) -- an Update arrived while a
+  Probe cycle was in flight, so another cycle must follow;
+* ``bottleneck_received`` (the paper's ``bneck_rcv``) -- the session has been
+  notified of a (believed) max-min fair rate.
+
+It is the only task that invokes ``API.Rate`` on the application.
+"""
+
+from repro.core.packets import (
+    BOTTLENECK,
+    Bottleneck,
+    Join,
+    Leave,
+    Probe,
+    Response,
+    SetBottleneck,
+    UPDATE,
+    Update,
+)
+from repro.core.state import IDLE, LinkState, WAITING_RESPONSE
+from repro.simulator.process import Process
+
+
+class SourceNodeTask(Process):
+    """Runs the B-Neck source algorithm for one session."""
+
+    def __init__(self, simulator, protocol, session, algebra):
+        super(SourceNodeTask, self).__init__(simulator, "SN(%s)" % session.session_id)
+        self.protocol = protocol
+        self.session = session
+        self.session_id = session.session_id
+        self.access_link = session.access_link
+        self.link_id = self.access_link.endpoints
+        self.state = LinkState(self.link_id, self.access_link.capacity, algebra)
+        self.algebra = algebra
+        self.demand = None                # D_s
+        self.update_received = False      # upd_rcv_s
+        self.bottleneck_received = False  # bneck_rcv_s
+        self.left = False
+
+    # ------------------------------------------------------------- properties
+
+    def current_rate(self):
+        """The rate the source currently believes it may use (0 before any
+        Response has been received).  B-Neck's transient rates are
+        conservative, so this is what Experiment 3 samples."""
+        rate = self.state.rate_of(self.session_id)
+        return 0.0 if rate is None else rate
+
+    def notified_rate(self):
+        """The last rate delivered through ``API.Rate`` (None if none yet)."""
+        return self.protocol.last_notified_rate(self.session_id)
+
+    def is_quiescent_for_session(self):
+        """True when the source is idle and has been told its final rate."""
+        return self.state.is_idle(self.session_id) and self.bottleneck_received
+
+    # ------------------------------------------------------------- forwarding
+
+    def _send_downstream(self, packet):
+        self.protocol.forward_downstream(self.link_id, packet)
+
+    # ----------------------------------------------------------- API handlers
+
+    def api_join(self, requested_rate):
+        """Figure 3, lines 3-6 (``API.Join``)."""
+        self.state.add_restricted(self.session_id)
+        self.demand = min(requested_rate, self.access_link.capacity)
+        # In the paper's "modified system" the effective bandwidth of the
+        # access link is D_s = min(r, C_e); the source's link state uses it so
+        # that Definition 2 (stability) holds for demand-limited sessions.
+        self.state.capacity = self.demand
+        self.state.set_state(self.session_id, WAITING_RESPONSE)
+        self.update_received = False
+        self.bottleneck_received = False
+        self._send_downstream(Join(self.session_id, self.demand, self.link_id))
+
+    def api_leave(self):
+        """Figure 3, lines 8-9 (``API.Leave``)."""
+        self.state.forget(self.session_id)
+        self.left = True
+        self._send_downstream(Leave(self.session_id))
+
+    def api_change(self, requested_rate):
+        """Figure 3, lines 11-18 (``API.Change``)."""
+        self.demand = min(requested_rate, self.access_link.capacity)
+        self.state.capacity = self.demand
+        if self.state.state_of(self.session_id) == IDLE:
+            if self.session_id in self.state.unrestricted:
+                self.state.add_restricted(self.session_id)
+            self.update_received = False
+            self.bottleneck_received = False
+            self.state.set_state(self.session_id, WAITING_RESPONSE)
+            self._send_downstream(Probe(self.session_id, self.demand, self.link_id))
+        else:
+            self.update_received = True
+
+    # -------------------------------------------------------- packet handlers
+
+    def receive(self, message, sender):
+        if self.left:
+            # Packets may still be in flight after API.Leave; they concern a
+            # session that no longer exists and are dropped.
+            return
+        handlers = {
+            Update: self.on_update,
+            Bottleneck: self.on_bottleneck,
+            Response: self.on_response,
+        }
+        handler = handlers.get(type(message))
+        if handler is None:
+            raise TypeError("%s cannot handle %r" % (self.name, message))
+        handler(message)
+
+    def on_update(self, packet):
+        """Figure 3, lines 20-25."""
+        if self.state.state_of(self.session_id) == IDLE:
+            if self.session_id in self.state.unrestricted:
+                self.state.add_restricted(self.session_id)
+            self.bottleneck_received = False
+            self.state.set_state(self.session_id, WAITING_RESPONSE)
+            self._send_downstream(Probe(self.session_id, self.demand, self.link_id))
+        else:
+            self.update_received = True
+
+    def on_bottleneck(self, packet):
+        """Figure 3, lines 27-31."""
+        if self.state.state_of(self.session_id) == IDLE and not self.bottleneck_received:
+            rate = self.state.rate_of(self.session_id)
+            self.bottleneck_received = True
+            self.protocol.notify_rate(self.session_id, rate)
+            demand_is_rate = self.algebra.equal(self.demand, rate)
+            if self.algebra.greater(self.demand, rate):
+                self.state.add_unrestricted(self.session_id)
+            self._send_downstream(SetBottleneck(self.session_id, demand_is_rate))
+
+    def on_response(self, packet):
+        """Figure 3, lines 33-47."""
+        if packet.tau == UPDATE or self.update_received:
+            self.update_received = False
+            self.bottleneck_received = False
+            self.state.set_state(self.session_id, WAITING_RESPONSE)
+            self._send_downstream(Probe(self.session_id, self.demand, self.link_id))
+        elif packet.tau == BOTTLENECK:
+            self.state.set_rate(self.session_id, packet.rate)
+            self.state.set_state(self.session_id, IDLE)
+            self.bottleneck_received = True
+            self.protocol.notify_rate(self.session_id, packet.rate)
+            demand_is_rate = self.algebra.equal(self.demand, packet.rate)
+            if self.algebra.greater(self.demand, packet.rate):
+                self.state.add_unrestricted(self.session_id)
+            self._send_downstream(SetBottleneck(self.session_id, demand_is_rate))
+        else:  # tau == RESPONSE
+            self.state.set_rate(self.session_id, packet.rate)
+            self.state.set_state(self.session_id, IDLE)
+            if self.algebra.equal(self.demand, packet.rate):
+                self.bottleneck_received = True
+                self.protocol.notify_rate(self.session_id, packet.rate)
+                self._send_downstream(SetBottleneck(self.session_id, True))

@@ -1,0 +1,152 @@
+"""Per-link B-Neck protocol state.
+
+For every link ``e`` the protocol keeps (Section III-C):
+
+* ``R_e`` -- sessions believed to be restricted at this link;
+* ``F_e`` -- sessions crossing the link but restricted somewhere else;
+* per session ``s``: its state ``mu^e_s`` in {IDLE, WAITING_PROBE,
+  WAITING_RESPONSE} and its recorded rate ``lambda^e_s`` (meaningful only when
+  ``s`` is in ``F_e``, or in ``R_e`` with ``mu^e_s = IDLE``);
+* the bottleneck-rate estimate ``B_e = (C_e - sum of F_e rates) / |R_e|``.
+
+The same container is used by the RouterLink task, by the SourceNode task (for
+the session's access link) and by the stability checker of Definition 2.
+"""
+
+import math
+
+from repro.fairness.algebra import default_algebra
+
+IDLE = "IDLE"
+WAITING_PROBE = "WAITING_PROBE"
+WAITING_RESPONSE = "WAITING_RESPONSE"
+
+SESSION_STATES = (IDLE, WAITING_PROBE, WAITING_RESPONSE)
+
+
+class LinkState(object):
+    """The B-Neck bookkeeping of one directed link."""
+
+    def __init__(self, link_id, capacity, algebra=None):
+        if capacity <= 0:
+            raise ValueError("link capacity must be positive, got %r" % capacity)
+        self.link_id = link_id
+        self.capacity = capacity
+        self.algebra = algebra or default_algebra()
+        self.restricted = set()        # R_e
+        self.unrestricted = set()      # F_e
+        self._mu = {}                  # session id -> mu^e_s
+        self._rate = {}                # session id -> lambda^e_s
+
+    # --------------------------------------------------------------- queries
+
+    def knows(self, session_id):
+        """True when the link keeps state for the session."""
+        return session_id in self.restricted or session_id in self.unrestricted
+
+    def sessions(self):
+        """All session ids with state at this link."""
+        return self.restricted | self.unrestricted
+
+    def state_of(self, session_id):
+        """``mu^e_s`` (defaults to IDLE for unknown sessions)."""
+        return self._mu.get(session_id, IDLE)
+
+    def rate_of(self, session_id):
+        """``lambda^e_s`` (``None`` when the link has not recorded one yet)."""
+        return self._rate.get(session_id)
+
+    def is_idle(self, session_id):
+        return self.state_of(session_id) == IDLE
+
+    def bottleneck_rate(self):
+        """``B_e``; infinite when ``R_e`` is empty (the link restricts nobody)."""
+        if not self.restricted:
+            return math.inf
+        unrestricted_load = sum(
+            self._rate.get(session_id, 0.0) for session_id in self.unrestricted
+        )
+        remaining = self.capacity - unrestricted_load
+        return self.algebra.divide(remaining, len(self.restricted))
+
+    # ------------------------------------------------------------- mutations
+
+    def set_state(self, session_id, state):
+        if state not in SESSION_STATES:
+            raise ValueError("unknown session state %r" % (state,))
+        self._mu[session_id] = state
+
+    def set_rate(self, session_id, rate):
+        self._rate[session_id] = rate
+
+    def add_restricted(self, session_id):
+        """Put the session in ``R_e`` (removing it from ``F_e`` if needed)."""
+        self.unrestricted.discard(session_id)
+        self.restricted.add(session_id)
+
+    def add_unrestricted(self, session_id):
+        """Put the session in ``F_e`` (removing it from ``R_e`` if needed)."""
+        self.restricted.discard(session_id)
+        self.unrestricted.add(session_id)
+
+    def forget(self, session_id):
+        """Drop every trace of the session (used on ``Leave``)."""
+        self.restricted.discard(session_id)
+        self.unrestricted.discard(session_id)
+        self._mu.pop(session_id, None)
+        self._rate.pop(session_id, None)
+
+    # ------------------------------------------------------- stability checks
+
+    def all_restricted_settled(self):
+        """The bottleneck-detection condition of Figure 2, lines 25 and 46:
+
+        every session in ``R_e`` is IDLE and recorded at exactly ``B_e``.
+        """
+        if not self.restricted:
+            return False
+        rate = self.bottleneck_rate()
+        for session_id in self.restricted:
+            if self.state_of(session_id) != IDLE:
+                return False
+            recorded = self._rate.get(session_id)
+            if recorded is None or not self.algebra.equal(recorded, rate):
+                return False
+        return True
+
+    def is_stable(self):
+        """The per-link stability predicate of Definition 2."""
+        for session_id in self.sessions():
+            if self.state_of(session_id) != IDLE:
+                return False
+        rate = self.bottleneck_rate()
+        for session_id in self.restricted:
+            recorded = self._rate.get(session_id)
+            if recorded is None or not self.algebra.equal(recorded, rate):
+                return False
+        if self.restricted:
+            for session_id in self.unrestricted:
+                recorded = self._rate.get(session_id)
+                if recorded is None or not self.algebra.less(recorded, rate):
+                    return False
+        return True
+
+    def snapshot(self):
+        """A plain-dict view used by tests and debugging output."""
+        return {
+            "link": self.link_id,
+            "capacity": self.capacity,
+            "restricted": set(self.restricted),
+            "unrestricted": set(self.unrestricted),
+            "mu": dict(self._mu),
+            "rate": dict(self._rate),
+            "bottleneck_rate": self.bottleneck_rate(),
+        }
+
+    def __repr__(self):
+        return "LinkState(%r, |R|=%d, |F|=%d, B=%.4g)" % (
+            self.link_id,
+            len(self.restricted),
+            len(self.unrestricted),
+            self.bottleneck_rate() if self.restricted else float("inf"),
+        )

@@ -1,0 +1,109 @@
+"""The result type of every allocation algorithm in the library."""
+
+from repro.fairness.algebra import default_algebra
+
+
+class RateAllocation(object):
+    """A mapping from session id to assigned rate, plus comparison helpers.
+
+    Every algorithm in the library -- water-filling, centralized B-Neck,
+    distributed B-Neck, and the non-quiescent baselines -- returns (or exposes)
+    a :class:`RateAllocation`, so results can be compared uniformly.
+    """
+
+    def __init__(self, rates=None, algebra=None):
+        self._rates = dict(rates or {})
+        self.algebra = algebra or default_algebra()
+
+    # -------------------------------------------------------------- mapping
+
+    def set_rate(self, session_id, rate):
+        self._rates[session_id] = rate
+
+    def rate(self, session_id):
+        return self._rates[session_id]
+
+    def get(self, session_id, default=None):
+        return self._rates.get(session_id, default)
+
+    def __contains__(self, session_id):
+        return session_id in self._rates
+
+    def __len__(self):
+        return len(self._rates)
+
+    def __iter__(self):
+        return iter(self._rates)
+
+    def items(self):
+        return self._rates.items()
+
+    def session_ids(self):
+        return list(self._rates)
+
+    def as_dict(self):
+        """A plain ``{session_id: float(rate)}`` dictionary."""
+        return {session_id: float(rate) for session_id, rate in self._rates.items()}
+
+    def total_rate(self):
+        """Sum of all assigned rates."""
+        return sum(float(rate) for rate in self._rates.values())
+
+    # ------------------------------------------------------------ comparison
+
+    def equals(self, other, algebra=None):
+        """True when both allocations assign equal rates to the same sessions."""
+        algebra = algebra or self.algebra
+        if set(self._rates) != set(other.session_ids()):
+            return False
+        return all(
+            algebra.equal(float(self._rates[session_id]), float(other.rate(session_id)))
+            for session_id in self._rates
+        )
+
+    def max_relative_difference(self, other):
+        """Largest ``|a - b| / max(|b|, 1)`` over sessions present in both."""
+        worst = 0.0
+        for session_id, rate in self._rates.items():
+            if session_id not in other:
+                continue
+            reference = float(other.rate(session_id))
+            difference = abs(float(rate) - reference) / max(abs(reference), 1.0)
+            worst = max(worst, difference)
+        return worst
+
+    # ------------------------------------------------------------ feasibility
+
+    def link_load(self, sessions, link):
+        """Total rate assigned to sessions (from ``sessions``) crossing ``link``."""
+        return sum(
+            float(self._rates.get(session.session_id, 0.0))
+            for session in sessions
+            if session.crosses(link)
+        )
+
+    def is_feasible(self, sessions, algebra=None):
+        """True when no link is overloaded and no session exceeds its demand."""
+        algebra = algebra or self.algebra
+        sessions = list(sessions)
+        for session in sessions:
+            rate = float(self._rates.get(session.session_id, 0.0))
+            if algebra.greater(rate, float(session.effective_demand())):
+                return False
+        links = {}
+        for session in sessions:
+            for link in session.links:
+                links.setdefault(link.endpoints, (link, []))[1].append(session)
+        for link, members in links.values():
+            load = sum(
+                float(self._rates.get(session.session_id, 0.0)) for session in members
+            )
+            if algebra.greater(load, link.capacity):
+                return False
+        return True
+
+    def __repr__(self):
+        return "RateAllocation(sessions=%d, total=%.4g)" % (
+            len(self._rates),
+            self.total_rate(),
+        )

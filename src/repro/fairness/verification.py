@@ -1,0 +1,103 @@
+"""Direct verification that an allocation is max-min fair.
+
+The bottleneck characterization theorem (Bertsekas & Gallager) states that a
+feasible allocation is max-min fair iff every session either
+
+* is allocated its full requested demand, or
+* has at least one bottleneck link (Definition 1 of the paper): a saturated
+  link on which no other session gets a larger rate.
+
+This check is independent of *any* allocation algorithm in the library, which
+makes it the strongest oracle available to the property-based tests: both
+water-filling and (centralized/distributed) B-Neck results must pass it.
+"""
+
+from repro.fairness.algebra import default_algebra
+from repro.fairness.bottleneck import session_bottlenecks
+
+
+class MaxMinViolation(object):
+    """A reason why an allocation fails to be max-min fair."""
+
+    __slots__ = ("kind", "subject", "detail")
+
+    def __init__(self, kind, subject, detail):
+        self.kind = kind
+        self.subject = subject
+        self.detail = detail
+
+    def __repr__(self):
+        return "MaxMinViolation(%s, %r, %s)" % (self.kind, self.subject, self.detail)
+
+
+def verify_allocation(sessions, allocation, algebra=None):
+    """Return the list of :class:`MaxMinViolation` for an allocation.
+
+    An empty list means the allocation is max-min fair (and feasible).
+    Violation kinds:
+
+    * ``overloaded-link`` -- the allocation exceeds some link capacity;
+    * ``demand-exceeded`` -- a session got more than it asked for;
+    * ``missing-rate`` -- a session has no assigned rate;
+    * ``no-bottleneck`` -- a session is below its demand yet has no bottleneck
+      link, so its rate could be increased (not max-min fair).
+    """
+    algebra = algebra or default_algebra()
+    sessions = list(sessions)
+    violations = []
+
+    for session in sessions:
+        if session.session_id not in allocation:
+            violations.append(
+                MaxMinViolation("missing-rate", session.session_id, "no rate assigned")
+            )
+    if violations:
+        return violations
+
+    # Feasibility on links.
+    links = {}
+    for session in sessions:
+        for link in session.links:
+            links.setdefault(link.endpoints, (link, []))[1].append(session)
+    for link, members in links.values():
+        load = sum(float(allocation.rate(s.session_id)) for s in members)
+        if algebra.greater(load, link.capacity):
+            violations.append(
+                MaxMinViolation(
+                    "overloaded-link",
+                    link.endpoints,
+                    "load %.6g exceeds capacity %.6g" % (load, link.capacity),
+                )
+            )
+
+    # Per-session conditions.
+    for session in sessions:
+        rate = float(allocation.rate(session.session_id))
+        demand = float(session.effective_demand())
+        if algebra.greater(rate, demand):
+            violations.append(
+                MaxMinViolation(
+                    "demand-exceeded",
+                    session.session_id,
+                    "rate %.6g exceeds demand %.6g" % (rate, demand),
+                )
+            )
+            continue
+        if algebra.equal(rate, demand):
+            continue
+        bottlenecks = session_bottlenecks(session, sessions, allocation, algebra)
+        if not bottlenecks:
+            violations.append(
+                MaxMinViolation(
+                    "no-bottleneck",
+                    session.session_id,
+                    "rate %.6g is below demand %.6g and no path link is a bottleneck"
+                    % (rate, demand),
+                )
+            )
+    return violations
+
+
+def is_max_min_fair(sessions, allocation, algebra=None):
+    """True when :func:`verify_allocation` reports no violation."""
+    return not verify_allocation(sessions, allocation, algebra=algebra)

@@ -1,0 +1,130 @@
+"""Single-path routing.
+
+Sessions in the paper follow "a shortest path from its source to its
+destination node".  Two metrics are supported:
+
+* ``"hops"`` -- breadth-first shortest path by hop count (the default, and the
+  one used in the evaluation);
+* ``"delay"`` -- Dijkstra over link propagation delays, useful for WAN-flavored
+  examples.
+
+:class:`PathComputer` caches router-to-router paths, which matters when a
+workload creates tens of thousands of sessions over the same backbone.
+"""
+
+import collections
+import heapq
+
+
+def shortest_path(network, source, target, metric="hops"):
+    """Return the list of node ids of a shortest path from ``source`` to ``target``.
+
+    Raises ``ValueError`` when no path exists or the metric is unknown.
+    """
+    if metric == "hops":
+        path = _bfs_path(network, source, target)
+    elif metric == "delay":
+        path = _dijkstra_path(network, source, target)
+    else:
+        raise ValueError("unknown routing metric %r" % metric)
+    if path is None:
+        raise ValueError("no path from %r to %r" % (source, target))
+    return path
+
+
+def path_links(network, node_path):
+    """Convert a node path to the list of directed links it traverses."""
+    return [
+        network.link(node_path[index], node_path[index + 1])
+        for index in range(len(node_path) - 1)
+    ]
+
+
+def _bfs_path(network, source, target):
+    if source == target:
+        return [source]
+    predecessor = {source: None}
+    frontier = collections.deque([source])
+    while frontier:
+        current = frontier.popleft()
+        for neighbor in network.neighbors(current):
+            if neighbor in predecessor:
+                continue
+            predecessor[neighbor] = current
+            if neighbor == target:
+                return _reconstruct(predecessor, target)
+            frontier.append(neighbor)
+    return None
+
+
+def _dijkstra_path(network, source, target):
+    if source == target:
+        return [source]
+    distances = {source: 0.0}
+    predecessor = {source: None}
+    heap = [(0.0, source)]
+    visited = set()
+    while heap:
+        distance, current = heapq.heappop(heap)
+        if current in visited:
+            continue
+        visited.add(current)
+        if current == target:
+            return _reconstruct(predecessor, target)
+        for link in network.out_links(current):
+            neighbor = link.target
+            candidate = distance + link.propagation_delay
+            if neighbor not in distances or candidate < distances[neighbor]:
+                distances[neighbor] = candidate
+                predecessor[neighbor] = current
+                heapq.heappush(heap, (candidate, neighbor))
+    return None
+
+
+def _reconstruct(predecessor, target):
+    path = [target]
+    while predecessor[path[-1]] is not None:
+        path.append(predecessor[path[-1]])
+    path.reverse()
+    return path
+
+
+class PathComputer(object):
+    """Shortest-path oracle with a router-to-router path cache.
+
+    Host access links are always single-hop, so a host-to-host path is the
+    concatenation ``[source_host] + router_path + [destination_host]``; only
+    the router-to-router segment is cached.
+    """
+
+    def __init__(self, network, metric="hops"):
+        self.network = network
+        self.metric = metric
+        self._cache = {}
+
+    def route(self, source_host, destination_host):
+        """Return the node path from ``source_host`` to ``destination_host``."""
+        source_node = self.network.node(source_host)
+        destination_node = self.network.node(destination_host)
+        if source_node.is_host and destination_node.is_host:
+            ingress = source_node.attached_router
+            egress = destination_node.attached_router
+            if ingress is None or egress is None:
+                return shortest_path(self.network, source_host, destination_host, self.metric)
+            router_path = self.router_route(ingress, egress)
+            return [source_host] + router_path + [destination_host]
+        return shortest_path(self.network, source_host, destination_host, self.metric)
+
+    def router_route(self, ingress, egress):
+        """Return (and cache) the router-level path between two routers."""
+        key = (ingress, egress)
+        if key not in self._cache:
+            self._cache[key] = shortest_path(self.network, ingress, egress, self.metric)
+        return list(self._cache[key])
+
+    def route_links(self, source_host, destination_host):
+        """Return the directed links of the path between two hosts."""
+        return path_links(self.network, self.route(source_host, destination_host))
+
+    def cache_size(self):
+        return len(self._cache)

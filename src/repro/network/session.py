@@ -1,0 +1,156 @@
+"""Sessions: single-path source/destination pairs with a maximum rate request.
+
+A session (Section II) connects a source host to a destination host along a
+static path, and is *greedy*: it wants as much rate as possible up to the
+maximum rate it requested (``r_s``, possibly infinite).  The effective demand
+seen by the allocation algorithms is ``D_s = min(r_s, C_e0)`` where ``e0`` is
+the session's access link.
+"""
+
+import math
+
+INFINITE_RATE = math.inf
+
+
+class Session(object):
+    """A single-path session.
+
+    Attributes:
+        session_id: unique identifier.
+        source: node id of the source host.
+        destination: node id of the destination host.
+        node_path: list of node ids from source to destination.
+        links: list of directed :class:`~repro.network.graph.Link` objects of
+            the path (``π(s)`` in the paper), from the access link to the last
+            hop into the destination host.
+        demand: maximum rate requested by the session (``r_s``), in bits per
+            second; ``math.inf`` means "no explicit limit".
+    """
+
+    __slots__ = ("session_id", "source", "destination", "node_path", "links", "demand")
+
+    def __init__(self, session_id, source, destination, node_path, links, demand=INFINITE_RATE):
+        if len(node_path) < 2:
+            raise ValueError("a session path needs at least two nodes")
+        if len(links) != len(node_path) - 1:
+            raise ValueError("links must match the node path")
+        if demand <= 0:
+            raise ValueError("session demand must be positive, got %r" % demand)
+        self.session_id = session_id
+        self.source = source
+        self.destination = destination
+        self.node_path = list(node_path)
+        self.links = list(links)
+        self.demand = demand
+
+    @property
+    def access_link(self):
+        """The first link of the path (owned by the SourceNode task)."""
+        return self.links[0]
+
+    @property
+    def transit_links(self):
+        """Every link after the access link (owned by RouterLink tasks)."""
+        return self.links[1:]
+
+    @property
+    def path_length(self):
+        """Number of links in the path."""
+        return len(self.links)
+
+    def effective_demand(self):
+        """``D_s = min(r_s, C_e0)`` -- the demand after the access-link clamp."""
+        return min(self.demand, self.access_link.capacity)
+
+    def crosses(self, link):
+        """True when ``link`` is on this session's path."""
+        return link in self.links
+
+    def __repr__(self):
+        return "Session(%r, %r -> %r, hops=%d, demand=%r)" % (
+            self.session_id,
+            self.source,
+            self.destination,
+            len(self.links),
+            self.demand,
+        )
+
+    def __hash__(self):
+        return hash(self.session_id)
+
+    def __eq__(self, other):
+        return isinstance(other, Session) and self.session_id == other.session_id
+
+
+class SessionRegistry(object):
+    """The set of active sessions, indexed by id and by link.
+
+    This mirrors the paper's ``S`` (active sessions) and ``S_e`` (sessions
+    crossing link ``e``); the per-link index is what both the centralized
+    oracle and the metrics module iterate over.
+    """
+
+    def __init__(self):
+        self._sessions = {}
+        self._by_link = {}
+
+    def add(self, session):
+        """Register an active session."""
+        if session.session_id in self._sessions:
+            raise ValueError("duplicate session id %r" % (session.session_id,))
+        self._sessions[session.session_id] = session
+        for link in session.links:
+            self._by_link.setdefault(link.endpoints, set()).add(session)
+        return session
+
+    def remove(self, session_id):
+        """Remove a session (e.g. on ``API.Leave``) and return it."""
+        session = self._sessions.pop(session_id)
+        for link in session.links:
+            members = self._by_link.get(link.endpoints)
+            if members is not None:
+                members.discard(session)
+                if not members:
+                    del self._by_link[link.endpoints]
+        return session
+
+    def get(self, session_id):
+        return self._sessions[session_id]
+
+    def __contains__(self, session_id):
+        return session_id in self._sessions
+
+    def __len__(self):
+        return len(self._sessions)
+
+    def __iter__(self):
+        return iter(self._sessions.values())
+
+    def active_sessions(self):
+        """All active sessions, in insertion order."""
+        return list(self._sessions.values())
+
+    def sessions_on_link(self, link):
+        """The set ``S_e`` of active sessions crossing ``link``."""
+        return set(self._by_link.get(link.endpoints, set()))
+
+    def loaded_links(self):
+        """Every link crossed by at least one active session."""
+        links = []
+        seen = set()
+        for session in self._sessions.values():
+            for link in session.links:
+                if link.endpoints not in seen:
+                    seen.add(link.endpoints)
+                    links.append(link)
+        return links
+
+    def update_demand(self, session_id, demand):
+        """Change the maximum requested rate of a session (``API.Change``)."""
+        if demand <= 0:
+            raise ValueError("session demand must be positive, got %r" % demand)
+        self._sessions[session_id].demand = demand
+
+    def clear(self):
+        self._sessions = {}
+        self._by_link = {}

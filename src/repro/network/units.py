@@ -1,0 +1,21 @@
+"""Bandwidth units.
+
+All link capacities and session rates in the library are expressed in bits per
+second.  The paper configures 100 Mbps host/stub links, 200 Mbps stub-to-stub
+links and 500 Mbps transit links.
+"""
+
+BPS = 1.0
+KBPS = 1e3
+MBPS = 1e6
+GBPS = 1e9
+
+
+def mbps(value):
+    """Return ``value`` megabits per second in bits per second."""
+    return float(value) * MBPS
+
+
+def to_mbps(rate):
+    """Convert a rate in bits per second to megabits per second."""
+    return float(rate) / MBPS

@@ -1,0 +1,107 @@
+"""A deterministic priority queue of timed events.
+
+Events are ordered by ``(time, sequence)`` where ``sequence`` is a strictly
+increasing insertion counter.  Ties in time are therefore broken by insertion
+order, which keeps simulation runs fully deterministic for a given workload and
+random seed -- a requirement for the regression tests that compare distributed
+B-Neck against the centralized oracle.
+"""
+
+import heapq
+import itertools
+
+
+class Event(object):
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute simulation time at which the event fires.
+        sequence: insertion counter used for deterministic tie-breaking.
+        callback: zero-argument callable executed when the event fires.
+        cancelled: set by :meth:`cancel`; cancelled events are skipped.
+        tag: optional label used by traces and tests.
+    """
+
+    __slots__ = ("time", "sequence", "callback", "cancelled", "tag")
+
+    def __init__(self, time, sequence, callback, tag=None):
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+        self.tag = tag
+
+    def cancel(self):
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return "Event(time=%r, seq=%d, tag=%r, %s)" % (
+            self.time,
+            self.sequence,
+            self.tag,
+            state,
+        )
+
+
+class EventQueue(object):
+    """Min-heap of :class:`Event` objects ordered by (time, insertion order)."""
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(self, time, callback, tag=None):
+        """Schedule ``callback`` at absolute ``time`` and return the event."""
+        if time < 0:
+            raise ValueError("event time must be non-negative, got %r" % time)
+        event = Event(time, next(self._counter), callback, tag=tag)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self):
+        """Remove and return the earliest non-cancelled event.
+
+        Returns ``None`` when the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self):
+        """Return the time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event):
+        """Cancel a previously scheduled event."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def clear(self):
+        """Drop every pending event."""
+        self._heap = []
+        self._live = 0
+
+    def __len__(self):
+        return self._live
+
+    def __bool__(self):
+        return self._live > 0
+
+    def __repr__(self):
+        return "EventQueue(pending=%d)" % self._live

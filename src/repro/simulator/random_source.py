@@ -1,0 +1,61 @@
+"""Seeded randomness for reproducible workloads and topologies.
+
+All stochastic choices in the library (topology generation, session endpoints,
+arrival times, WAN propagation delays) flow through a :class:`RandomSource`, so
+a single integer seed makes an entire experiment reproducible.
+"""
+
+import random
+
+
+class RandomSource(object):
+    """A thin wrapper around :class:`random.Random` with domain helpers."""
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def fork(self, label):
+        """Derive an independent stream, deterministically, from a label.
+
+        Forked streams let different subsystems (topology vs. workload) draw
+        random numbers without perturbing each other's sequences.
+        """
+        derived_seed = hash((self.seed, label)) & 0x7FFFFFFF
+        return RandomSource(derived_seed)
+
+    def uniform(self, low, high):
+        """Uniform float in ``[low, high]``."""
+        return self._rng.uniform(low, high)
+
+    def randint(self, low, high):
+        """Uniform integer in ``[low, high]`` (inclusive)."""
+        return self._rng.randint(low, high)
+
+    def choice(self, sequence):
+        """Uniformly chosen element of a non-empty sequence."""
+        return self._rng.choice(sequence)
+
+    def sample(self, population, count):
+        """``count`` distinct elements drawn without replacement."""
+        return self._rng.sample(population, count)
+
+    def shuffle(self, items):
+        """Shuffle ``items`` in place."""
+        self._rng.shuffle(items)
+
+    def random(self):
+        """Uniform float in ``[0, 1)``."""
+        return self._rng.random()
+
+    def expovariate(self, rate):
+        """Exponentially distributed value with the given rate."""
+        return self._rng.expovariate(rate)
+
+    def pair(self, population):
+        """Two distinct elements of ``population`` chosen uniformly."""
+        first, second = self._rng.sample(population, 2)
+        return first, second
+
+    def __repr__(self):
+        return "RandomSource(seed=%d)" % self.seed

@@ -1,0 +1,170 @@
+"""The simulation loop.
+
+A :class:`Simulator` owns the event queue and the clock.  Protocol tasks
+schedule work through :meth:`Simulator.schedule` (relative delay) or
+:meth:`Simulator.schedule_at` (absolute time); each scheduled callback executes
+atomically at its firing time, matching the paper's model of ``when`` blocks
+that are "executed atomically, and activated asynchronously when an event is
+triggered".
+
+Because B-Neck is *quiescent*, a steady-state simulation terminates on its own:
+once the max-min fair rates are computed, no task schedules further events and
+the queue drains.  :meth:`Simulator.run` therefore runs until the queue is
+empty by default, and the time of the last processed event is the
+time-to-quiescence reported by the experiments.
+"""
+
+from repro.simulator.errors import SimulationLimitExceeded
+from repro.simulator.event_queue import EventQueue
+
+
+class Simulator(object):
+    """Discrete-event simulation loop with quiescence detection.
+
+    Args:
+        max_events: optional safety cap on processed events; exceeded caps
+            raise :class:`SimulationLimitExceeded`.
+        max_time: optional safety cap on the simulation clock.
+        tracer: optional object with an ``on_event(time, tag)`` hook invoked
+            for every processed event.
+    """
+
+    def __init__(self, max_events=None, max_time=None, tracer=None):
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+        self.max_events = max_events
+        self.max_time = max_time
+        self.tracer = tracer
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------ clock
+
+    @property
+    def now(self):
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self):
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self):
+        """Number of live events still waiting in the queue."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------- scheduling
+
+    def schedule(self, delay, callback, tag=None):
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative, got %r" % delay)
+        return self._queue.push(self._now + delay, callback, tag=tag)
+
+    def schedule_at(self, time, callback, tag=None):
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self._now:
+            raise ValueError(
+                "cannot schedule in the past (now=%r, requested=%r)" % (self._now, time)
+            )
+        return self._queue.push(time, callback, tag=tag)
+
+    def cancel(self, event):
+        """Cancel a previously scheduled event."""
+        self._queue.cancel(event)
+
+    def stop(self):
+        """Request that the current :meth:`run` call returns before the next event."""
+        self._stop_requested = True
+
+    # ---------------------------------------------------------------- running
+
+    def step(self):
+        """Execute the next pending event.  Returns ``False`` if none remain."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_processed += 1
+        if self.tracer is not None:
+            self.tracer.on_event(self._now, event.tag)
+        event.callback()
+        return True
+
+    def run(self, until=None, stop_condition=None):
+        """Run the simulation.
+
+        Args:
+            until: optional absolute time horizon.  Events scheduled after the
+                horizon stay in the queue; the clock is advanced to ``until``
+                when the horizon is hit with work still pending.
+            stop_condition: optional zero-argument predicate evaluated after
+                every event; the run stops once it returns ``True``.
+
+        Returns:
+            The simulation time at which the run stopped.
+        """
+        self._running = True
+        self._stop_requested = False
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self._check_limits(next_time)
+                self.step()
+                if stop_condition is not None and stop_condition():
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._queue and self._now < until:
+            # The queue drained before the horizon: advance the clock so
+            # repeated run(until=...) calls observe monotonic time.
+            self._now = until
+        return self._now
+
+    def run_until_quiescent(self):
+        """Run until the event queue drains and return the quiescence time.
+
+        The returned value is the timestamp of the last processed event, i.e.
+        the instant at which the network stopped carrying control traffic.
+        """
+        last_event_time = self._now
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            self._check_limits(next_time)
+            self.step()
+            last_event_time = self._now
+        return last_event_time
+
+    def _check_limits(self, next_time):
+        if self.max_events is not None and self._events_processed >= self.max_events:
+            raise SimulationLimitExceeded(
+                "event limit of %d exceeded at t=%r (possible livelock)"
+                % (self.max_events, self._now),
+                events_processed=self._events_processed,
+                current_time=self._now,
+            )
+        if self.max_time is not None and next_time > self.max_time:
+            raise SimulationLimitExceeded(
+                "time limit of %r exceeded (next event at %r)" % (self.max_time, next_time),
+                events_processed=self._events_processed,
+                current_time=self._now,
+            )
+
+    def __repr__(self):
+        return "Simulator(now=%r, pending=%d, processed=%d)" % (
+            self._now,
+            len(self._queue),
+            self._events_processed,
+        )

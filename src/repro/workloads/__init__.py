@@ -1,0 +1,45 @@
+"""Workload generation: networks, session populations and dynamics.
+
+The evaluation of the paper is driven by three ingredients, which this package
+provides as reusable building blocks:
+
+* :mod:`~repro.workloads.scenarios` -- the Small/Medium/Big transit-stub
+  networks in their LAN and WAN flavours;
+* :mod:`~repro.workloads.generator` -- populations of sessions with random
+  endpoints (uniform over stub routers), random demands and random join times
+  inside a window;
+* :mod:`~repro.workloads.dynamics` -- phases of joins, leaves and rate changes
+  (the churn patterns of Experiments 2 and 3).
+"""
+
+from repro.workloads.dynamics import DynamicPhase, PhaseOutcome, apply_phase
+from repro.workloads.generator import (
+    SessionSpec,
+    WorkloadGenerator,
+    infinite_demand,
+    mixed_demand,
+    uniform_demand,
+)
+from repro.workloads.scenarios import (
+    HOST_LINK_CAPACITY,
+    HOST_LINK_DELAY,
+    NETWORK_SIZES,
+    NetworkScenario,
+    build_network,
+)
+
+__all__ = [
+    "DynamicPhase",
+    "HOST_LINK_CAPACITY",
+    "HOST_LINK_DELAY",
+    "NETWORK_SIZES",
+    "NetworkScenario",
+    "PhaseOutcome",
+    "SessionSpec",
+    "WorkloadGenerator",
+    "apply_phase",
+    "build_network",
+    "infinite_demand",
+    "mixed_demand",
+    "uniform_demand",
+]

@@ -1,0 +1,171 @@
+"""Session dynamics: phases of joins, leaves and rate changes.
+
+Experiment 2 of the paper subjects a quiescent B-Neck to five consecutive
+phases of churn (mass join, mass leave, mass rate change, another mass join,
+and a mixed phase), each phase compressed into a one-millisecond window, and
+measures how long the protocol takes to become quiescent again.  A
+:class:`DynamicPhase` describes one such phase; :func:`apply_phase` schedules
+its actions on a protocol and reports a :class:`PhaseOutcome`.
+"""
+
+import math
+
+
+class DynamicPhase(object):
+    """One phase of session churn.
+
+    Attributes:
+        name: label used in reports ("join", "leave", "change", "mixed", ...).
+        joins: number of sessions that join during the phase window.
+        leaves: number of active sessions that leave.
+        changes: number of active sessions that change their maximum rate.
+        window: length (seconds) of the burst at the beginning of the phase.
+    """
+
+    def __init__(self, name, joins=0, leaves=0, changes=0, window=1e-3):
+        if min(joins, leaves, changes) < 0:
+            raise ValueError("phase action counts must be non-negative")
+        if window <= 0:
+            raise ValueError("phase window must be positive")
+        self.name = name
+        self.joins = joins
+        self.leaves = leaves
+        self.changes = changes
+        self.window = window
+
+    def total_actions(self):
+        return self.joins + self.leaves + self.changes
+
+    def __repr__(self):
+        return "DynamicPhase(%r, joins=%d, leaves=%d, changes=%d, window=%r)" % (
+            self.name,
+            self.joins,
+            self.leaves,
+            self.changes,
+            self.window,
+        )
+
+
+class PhaseOutcome(object):
+    """What happened during one phase: membership changes and quiescence timing."""
+
+    def __init__(
+        self,
+        phase,
+        start_time,
+        quiescence_time,
+        joined_ids,
+        left_ids,
+        changed_ids,
+        packets_before,
+        packets_after,
+        active_after,
+    ):
+        self.phase = phase
+        self.start_time = start_time
+        self.quiescence_time = quiescence_time
+        self.joined_ids = joined_ids
+        self.left_ids = left_ids
+        self.changed_ids = changed_ids
+        self.packets_before = packets_before
+        self.packets_after = packets_after
+        self.active_after = active_after
+
+    @property
+    def duration(self):
+        """Time from the start of the phase until quiescence."""
+        return self.quiescence_time - self.start_time
+
+    @property
+    def packets(self):
+        """Control packets transmitted during the phase."""
+        return self.packets_after - self.packets_before
+
+    def __repr__(self):
+        return "PhaseOutcome(%r, duration=%.4g s, packets=%d, active=%d)" % (
+            self.phase.name,
+            self.duration,
+            self.packets,
+            self.active_after,
+        )
+
+
+def apply_phase(
+    protocol,
+    generator,
+    phase,
+    active_ids,
+    start_time=None,
+    demand_sampler=None,
+    change_demand_sampler=None,
+    run_to_quiescence=True,
+):
+    """Schedule one phase of churn on ``protocol`` and (optionally) run it out.
+
+    Args:
+        protocol: a :class:`~repro.core.protocol.BNeckProtocol` (or a baseline
+            with the same API, in which case ``run_to_quiescence`` must be
+            False since baselines never drain their event queue).
+        generator: the :class:`~repro.workloads.generator.WorkloadGenerator`
+            that created the existing population (reused for endpoints,
+            demands and random choices).
+        phase: the :class:`DynamicPhase` to apply.
+        active_ids: iterable of currently active session ids.
+        start_time: phase start (defaults to the protocol's current time).
+        demand_sampler: demands of newly joining sessions.
+        change_demand_sampler: new demands for rate-change actions (defaults to
+            ``demand_sampler``).
+        run_to_quiescence: run the simulator until it drains after scheduling.
+
+    Returns:
+        A :class:`PhaseOutcome`; ``outcome.active_after`` is the updated count
+        of active sessions, and the joined/left/changed id lists let callers
+        maintain their own membership.
+    """
+    if start_time is None:
+        start_time = protocol.simulator.now
+    if change_demand_sampler is None:
+        change_demand_sampler = demand_sampler
+    active_ids = list(active_ids)
+    window = (start_time, start_time + phase.window)
+    packets_before = protocol.tracer.total
+
+    left_ids = generator.pick_sessions(active_ids, phase.leaves) if phase.leaves else []
+    remaining = [session_id for session_id in active_ids if session_id not in set(left_ids)]
+    changed_ids = generator.pick_sessions(remaining, phase.changes) if phase.changes else []
+
+    for session_id, when in zip(left_ids, generator.random_times(len(left_ids), window)):
+        protocol.leave(session_id, at=when)
+    for session_id, when in zip(changed_ids, generator.random_times(len(changed_ids), window)):
+        new_demand = generator.random_demand(change_demand_sampler)
+        if math.isinf(new_demand):
+            new_demand = generator.host_capacity
+        protocol.change(session_id, new_demand, at=when)
+
+    joined_ids = []
+    if phase.joins:
+        specs = generator.generate(
+            phase.joins,
+            join_window=window,
+            demand_sampler=demand_sampler,
+            prefix="%s-" % phase.name,
+        )
+        generator.install(protocol, specs)
+        joined_ids = [spec.session_id for spec in specs]
+
+    quiescence_time = start_time
+    if run_to_quiescence:
+        quiescence_time = protocol.run_until_quiescent()
+
+    active_after = len(remaining) + len(joined_ids)
+    return PhaseOutcome(
+        phase=phase,
+        start_time=start_time,
+        quiescence_time=quiescence_time,
+        joined_ids=joined_ids,
+        left_ids=left_ids,
+        changed_ids=changed_ids,
+        packets_before=packets_before,
+        packets_after=protocol.tracer.total,
+        active_after=active_after,
+    )

@@ -1,0 +1,194 @@
+"""Tests for the non-quiescent baseline protocols (BFYZ, CG, RCP)."""
+
+import pytest
+
+from repro.baselines.bfyz import BFYZProtocol, ConsistentMarkingController
+from repro.baselines.cg import CGProtocol, ConstantStateController
+from repro.baselines.rcp import RCPLinkController, RCPProtocol
+from repro.core.centralized import centralized_bneck
+from repro.fairness.algebra import FloatAlgebra
+from repro.network.graph import Link
+from repro.network.topology import single_link_topology
+from repro.network.units import MBPS
+from repro.simulator.clock import milliseconds
+from tests.conftest import attach_endpoints
+
+
+def make_protocol(protocol_class, network, **kwargs):
+    kwargs.setdefault("probe_interval", milliseconds(1))
+    return protocol_class(network, **kwargs)
+
+
+def open_session(protocol, source_router, destination_router, session_id, demand=float("inf"), at=None):
+    source_host, destination_host = attach_endpoints(protocol.network, source_router, destination_router)
+    session = protocol.create_session(source_host, destination_host, demand=demand, session_id=session_id)
+    protocol.join(session, at=at)
+    return session
+
+
+class TestConsistentMarkingController(object):
+    def make(self, capacity=100 * MBPS):
+        return ConsistentMarkingController(Link("a", "b", capacity, 1e-6), FloatAlgebra())
+
+    def test_empty_link_advertises_full_capacity(self):
+        assert self.make().advertised_rate() == pytest.approx(100 * MBPS)
+
+    def test_even_split_between_greedy_sessions(self):
+        controller = self.make()
+        controller.on_probe("a", float("inf"), 0.0)
+        controller.on_probe("b", float("inf"), 0.0)
+        assert controller.advertised_rate() == pytest.approx(50 * MBPS)
+
+    def test_restricted_elsewhere_sessions_release_surplus(self):
+        controller = self.make()
+        controller.on_probe("small", float("inf"), 10 * MBPS)
+        controller.on_probe("big", float("inf"), 0.0)
+        # small reports it only uses 10: the rest goes to big.
+        assert controller.advertised_rate() == pytest.approx(90 * MBPS)
+
+    def test_on_leave_forgets_state(self):
+        controller = self.make()
+        controller.on_probe("a", float("inf"), 0.0)
+        controller.on_probe("b", float("inf"), 0.0)
+        controller.on_leave("a")
+        assert controller.advertised_rate() == pytest.approx(100 * MBPS)
+
+    def test_uses_per_session_state(self):
+        controller = self.make()
+        for index in range(5):
+            controller.on_probe("s%d" % index, float("inf"), 0.0)
+        assert len(controller.recorded) == 5
+
+
+class TestConstantStateController(object):
+    def test_state_size_is_constant(self):
+        controller = ConstantStateController(Link("a", "b", 100 * MBPS, 1e-6), FloatAlgebra())
+        for index in range(100):
+            controller.on_probe("s%d" % index, float("inf"), 0.0)
+        # No per-session container: only counters and sums.
+        assert not hasattr(controller, "recorded")
+        assert isinstance(controller._probe_count, int)
+
+    def test_damped_update_moves_towards_fair_share(self):
+        controller = ConstantStateController(
+            Link("a", "b", 100 * MBPS, 1e-6), FloatAlgebra(), gain=0.5
+        )
+        for index in range(4):
+            controller.on_probe("s%d" % index, float("inf"), 0.0)
+        before = controller.advertised
+        controller.periodic_update([0.0] * 4, milliseconds(1))
+        after = controller.advertised
+        # Fair share is 25; the damped update moves halfway from 100 to 25.
+        assert after < before
+        assert after == pytest.approx(62.5 * MBPS)
+
+    def test_idle_link_relaxes_towards_capacity(self):
+        controller = ConstantStateController(
+            Link("a", "b", 100 * MBPS, 1e-6), FloatAlgebra(), gain=1.0
+        )
+        controller.advertised = 10 * MBPS
+        controller.periodic_update([], milliseconds(1))
+        assert controller.advertised == pytest.approx(100 * MBPS)
+
+
+class TestRCPLinkController(object):
+    def test_underloaded_link_raises_its_rate(self):
+        controller = RCPLinkController(Link("a", "b", 100 * MBPS, 1e-6), FloatAlgebra())
+        controller.advertised = 10 * MBPS
+        controller.periodic_update([10 * MBPS], milliseconds(1))
+        assert controller.advertised > 10 * MBPS
+
+    def test_overloaded_link_lowers_its_rate(self):
+        controller = RCPLinkController(Link("a", "b", 100 * MBPS, 1e-6), FloatAlgebra())
+        controller.advertised = 100 * MBPS
+        controller.periodic_update([90 * MBPS, 90 * MBPS], milliseconds(1))
+        assert controller.advertised < 100 * MBPS
+
+    def test_rate_is_bounded(self):
+        controller = RCPLinkController(Link("a", "b", 100 * MBPS, 1e-6), FloatAlgebra())
+        for _ in range(50):
+            controller.periodic_update([], milliseconds(1))
+        assert controller.advertised <= 100 * MBPS
+        for _ in range(200):
+            controller.periodic_update([500 * MBPS], milliseconds(1))
+        assert controller.advertised >= controller.minimum_rate
+
+
+@pytest.mark.parametrize("protocol_class", [BFYZProtocol, CGProtocol, RCPProtocol])
+class TestBaselineProtocols(object):
+    def test_single_session_approaches_capacity(self, protocol_class):
+        network = single_link_topology(capacity=100 * MBPS)
+        protocol = make_protocol(protocol_class, network)
+        open_session(protocol, "r0", "r1", "solo")
+        protocol.run(until=milliseconds(80))
+        rate = protocol.current_allocation().rate("solo")
+        assert rate == pytest.approx(100 * MBPS, rel=0.05)
+
+    def test_two_sessions_approach_even_split(self, protocol_class):
+        network = single_link_topology(capacity=100 * MBPS)
+        protocol = make_protocol(protocol_class, network)
+        open_session(protocol, "r0", "r1", "a")
+        open_session(protocol, "r0", "r1", "b")
+        protocol.run(until=milliseconds(120))
+        allocation = protocol.current_allocation()
+        oracle = centralized_bneck(protocol.active_sessions())
+        assert allocation.max_relative_difference(oracle) < 0.05
+
+    def test_never_quiescent(self, protocol_class):
+        network = single_link_topology(capacity=100 * MBPS)
+        protocol = make_protocol(protocol_class, network)
+        open_session(protocol, "r0", "r1", "solo")
+        protocol.run(until=milliseconds(50))
+        packets_so_far = protocol.tracer.total
+        assert protocol.simulator.pending_events > 0
+        protocol.run(until=milliseconds(100))
+        # Control traffic keeps flowing at a steady pace.
+        assert protocol.tracer.total > packets_so_far
+
+    def test_leave_stops_probing_for_that_session(self, protocol_class):
+        network = single_link_topology(capacity=100 * MBPS)
+        protocol = make_protocol(protocol_class, network)
+        open_session(protocol, "r0", "r1", "temp")
+        open_session(protocol, "r0", "r1", "perm")
+        protocol.run(until=milliseconds(20))
+        protocol.leave("temp")
+        protocol.run(until=milliseconds(40))
+        assert "temp" not in protocol.current_allocation()
+        by_session = protocol.tracer.by_session
+        packets_temp = by_session["temp"]
+        protocol.run(until=milliseconds(80))
+        assert protocol.tracer.by_session["temp"] == packets_temp
+        assert protocol.tracer.by_session["perm"] > packets_temp
+
+    def test_demand_is_respected(self, protocol_class):
+        network = single_link_topology(capacity=100 * MBPS)
+        protocol = make_protocol(protocol_class, network)
+        open_session(protocol, "r0", "r1", "capped", demand=10 * MBPS)
+        protocol.run(until=milliseconds(60))
+        assert protocol.current_allocation().rate("capped") <= 10 * MBPS * 1.001
+
+    def test_change_updates_demand(self, protocol_class):
+        network = single_link_topology(capacity=100 * MBPS)
+        protocol = make_protocol(protocol_class, network)
+        open_session(protocol, "r0", "r1", "s")
+        protocol.run(until=milliseconds(40))
+        protocol.change("s", 5 * MBPS)
+        protocol.run(until=milliseconds(80))
+        assert protocol.current_allocation().rate("s") <= 5 * MBPS * 1.001
+
+
+class TestBFYZTransientOverestimation(object):
+    def test_existing_session_overshoots_when_competition_arrives(self):
+        # One session settles at full capacity; a second one joins.  Until the
+        # first session's next probe cycle its rate still exceeds the new fair
+        # share -- the over-estimation the paper contrasts with B-Neck.
+        network = single_link_topology(capacity=100 * MBPS)
+        protocol = make_protocol(BFYZProtocol, network, probe_interval=milliseconds(5))
+        open_session(protocol, "r0", "r1", "old")
+        protocol.run(until=milliseconds(20))
+        assert protocol.current_allocation().rate("old") == pytest.approx(100 * MBPS, rel=0.05)
+        open_session(protocol, "r0", "r1", "new")
+        protocol.run(until=protocol.simulator.now + milliseconds(1))
+        oracle = centralized_bneck(protocol.active_sessions())
+        transient = protocol.current_allocation().rate("old")
+        assert transient > oracle.rate("old") * 1.5

@@ -1,0 +1,112 @@
+"""Unit tests for the shared baseline scaffolding (probe loop, API, accounting)."""
+
+import math
+
+import pytest
+
+from repro.baselines.base import BaselineProtocol, LinkController, ProbeCycleResult
+from repro.baselines.bfyz import BFYZProtocol
+from repro.baselines.rcp import RCPProtocol
+from repro.network.topology import single_link_topology
+from repro.network.units import MBPS
+from repro.simulator.clock import milliseconds
+from tests.conftest import attach_endpoints
+
+
+def open_session(protocol, session_id, demand=math.inf, at=None):
+    source, sink = attach_endpoints(protocol.network, "r0", "r1")
+    session = protocol.create_session(source, sink, demand=demand, session_id=session_id)
+    protocol.join(session, at=at)
+    return session
+
+
+class TestAbstractPieces(object):
+    def test_link_controller_on_probe_is_abstract(self):
+        controller = LinkController(link=None, algebra=None)
+        with pytest.raises(NotImplementedError):
+            controller.on_probe("s", 1.0, 0.0)
+
+    def test_base_protocol_requires_a_controller_factory(self):
+        network = single_link_topology()
+        protocol = BaselineProtocol(network)
+        # Joining immediately triggers the first probe cycle, which needs the
+        # subclass-provided link controller.
+        with pytest.raises(NotImplementedError):
+            open_session(protocol, "s")
+
+    def test_probe_cycle_result_repr(self):
+        result = ProbeCycleResult("s1", 5.0, 0.001)
+        assert "s1" in repr(result)
+
+
+class TestProbeLoop(object):
+    def test_probe_cycle_accounts_two_packets_per_link(self):
+        network = single_link_topology()
+        protocol = BFYZProtocol(network, probe_interval=milliseconds(1))
+        session = open_session(protocol, "solo")
+        # Run just past the first probe cycle (well under the probe interval).
+        protocol.run(until=milliseconds(0.5))
+        assert protocol.tracer.total == 2 * session.path_length
+        assert protocol.probe_cycles == 1
+
+    def test_probe_interval_paces_the_traffic(self):
+        network = single_link_topology()
+        protocol = BFYZProtocol(network, probe_interval=milliseconds(2))
+        session = open_session(protocol, "solo")
+        protocol.run(until=milliseconds(10.5))
+        # Cycles at t=0, 2, 4, 6, 8, 10 -> 6 cycles.
+        assert protocol.probe_cycles == 6
+        assert protocol.tracer.total == 6 * 2 * session.path_length
+
+    def test_scheduled_join_defers_the_first_probe(self):
+        network = single_link_topology()
+        protocol = BFYZProtocol(network, probe_interval=milliseconds(1))
+        open_session(protocol, "later", at=milliseconds(5))
+        protocol.run(until=milliseconds(4))
+        assert protocol.probe_cycles == 0
+        assert len(protocol.registry) == 0
+        protocol.run(until=milliseconds(6))
+        assert protocol.probe_cycles >= 1
+        assert len(protocol.registry) == 1
+
+    def test_duplicate_join_rejected(self):
+        network = single_link_topology()
+        protocol = BFYZProtocol(network)
+        session = open_session(protocol, "dup")
+        with pytest.raises(ValueError):
+            protocol.join(session)
+
+    def test_current_allocation_tracks_only_active_sessions(self):
+        network = single_link_topology()
+        protocol = BFYZProtocol(network, probe_interval=milliseconds(1))
+        open_session(protocol, "a")
+        open_session(protocol, "b")
+        protocol.run(until=milliseconds(10))
+        assert set(protocol.current_allocation().session_ids()) == {"a", "b"}
+        protocol.leave("a")
+        protocol.run(until=milliseconds(12))
+        assert set(protocol.current_allocation().session_ids()) == {"b"}
+
+    def test_rates_never_exceed_effective_demand(self):
+        network = single_link_topology()
+        protocol = BFYZProtocol(network, probe_interval=milliseconds(1))
+        open_session(protocol, "capped", demand=30 * MBPS)
+        protocol.run(until=milliseconds(20))
+        assert protocol.current_allocation().rate("capped") <= 30 * MBPS + 1e-6
+
+
+class TestPeriodicUpdates(object):
+    def test_rcp_tick_stops_when_all_sessions_leave_and_restarts_on_join(self):
+        network = single_link_topology()
+        protocol = RCPProtocol(network, probe_interval=milliseconds(1))
+        open_session(protocol, "first")
+        protocol.run(until=milliseconds(5))
+        assert protocol._ticking
+        protocol.leave("first")
+        # Let the pending tick notice the empty session set and stop.
+        protocol.run(until=milliseconds(10))
+        assert not protocol._ticking
+        open_session(protocol, "second")
+        protocol.run(until=milliseconds(15))
+        assert protocol._ticking
+        assert protocol.current_allocation().rate("second") > 0

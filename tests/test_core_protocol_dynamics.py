@@ -1,0 +1,192 @@
+"""Integration tests: session dynamics (arrivals, departures, rate changes).
+
+The defining feature of B-Neck is that any change in the session configuration
+reactivates it, the new max-min rates are found and notified, and the protocol
+becomes quiescent again.  These tests drive exactly those transitions and check
+rates, re-notifications, packet activity and stability after every step.
+"""
+
+import pytest
+
+from repro.core import check_stability, validate_against_oracle
+from repro.core.protocol import BNeckProtocol
+from repro.network.topology import dumbbell_topology
+from repro.network.units import MBPS
+from repro.simulator.clock import milliseconds
+from tests.conftest import open_bneck_session, parking_lot_protocol
+
+
+class TestDepartures(object):
+    def test_leaving_session_frees_bandwidth(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        _, staying = open_bneck_session(protocol, "r0", "r1", "staying")
+        open_bneck_session(protocol, "r0", "r1", "leaving")
+        protocol.run_until_quiescent()
+        assert staying.current_rate == pytest.approx(50 * MBPS)
+
+        protocol.leave("leaving")
+        protocol.run_until_quiescent()
+        assert staying.current_rate == pytest.approx(100 * MBPS)
+        assert len(protocol.registry) == 1
+        assert validate_against_oracle(protocol).valid
+        assert check_stability(protocol)
+
+    def test_departed_session_receives_no_further_notifications(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        _, leaving = open_bneck_session(protocol, "r0", "r1", "leaving")
+        open_bneck_session(protocol, "r0", "r1", "staying")
+        protocol.run_until_quiescent()
+        notifications_at_departure = leaving.notification_count
+        protocol.leave("leaving")
+        protocol.run_until_quiescent()
+        assert leaving.notification_count == notifications_at_departure
+
+    def test_all_sessions_leaving_empties_the_network(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        for index in range(4):
+            open_bneck_session(protocol, "r0", "r1", "s%d" % index)
+        protocol.run_until_quiescent()
+        for index in range(4):
+            protocol.leave("s%d" % index)
+        protocol.run_until_quiescent()
+        assert len(protocol.registry) == 0
+        assert protocol.quiescent
+        # Every remaining RouterLink state is empty and hence stable.
+        assert check_stability(protocol)
+
+    def test_staggered_departures_keep_rates_max_min(self):
+        protocol = parking_lot_protocol(hop_count=3)
+        _, long_app = open_bneck_session(protocol, "r0", "r3", "long")
+        for hop in range(3):
+            open_bneck_session(protocol, "r%d" % hop, "r%d" % (hop + 1), "short%d" % hop)
+        protocol.run_until_quiescent()
+        assert long_app.current_rate == pytest.approx(50 * MBPS)
+
+        for hop in range(3):
+            protocol.leave("short%d" % hop)
+            protocol.run_until_quiescent()
+            assert validate_against_oracle(protocol).valid
+        # All the shorts are gone: the long session takes a full link.
+        assert long_app.current_rate == pytest.approx(100 * MBPS)
+
+
+class TestArrivalsAfterQuiescence(object):
+    def test_new_arrival_reduces_existing_rates(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        _, first = open_bneck_session(protocol, "r0", "r1", "first")
+        protocol.run_until_quiescent()
+        assert first.current_rate == pytest.approx(100 * MBPS)
+
+        _, second = open_bneck_session(protocol, "r0", "r1", "second")
+        protocol.run_until_quiescent()
+        assert first.current_rate == pytest.approx(50 * MBPS)
+        assert second.current_rate == pytest.approx(50 * MBPS)
+        # The incumbent was re-notified with its reduced rate.
+        assert first.notification_count >= 2
+
+    def test_scheduled_future_joins_fire_in_order(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        _, early = open_bneck_session(protocol, "r0", "r1", "early", at=milliseconds(1))
+        _, late = open_bneck_session(protocol, "r0", "r1", "late", at=milliseconds(5))
+        quiescence = protocol.run_until_quiescent()
+        assert quiescence > milliseconds(5)
+        assert early.current_rate == pytest.approx(50 * MBPS)
+        assert late.current_rate == pytest.approx(50 * MBPS)
+        # The early session briefly enjoyed the full link.
+        assert early.notifications[0].rate == pytest.approx(100 * MBPS)
+
+
+class TestRateChanges(object):
+    def test_lowering_the_demand_frees_bandwidth(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        _, changing = open_bneck_session(protocol, "r0", "r1", "changing")
+        _, other = open_bneck_session(protocol, "r0", "r1", "other")
+        protocol.run_until_quiescent()
+        assert other.current_rate == pytest.approx(50 * MBPS)
+
+        protocol.change("changing", 10 * MBPS)
+        protocol.run_until_quiescent()
+        assert changing.current_rate == pytest.approx(10 * MBPS)
+        assert other.current_rate == pytest.approx(90 * MBPS)
+        assert validate_against_oracle(protocol).valid
+        assert check_stability(protocol)
+
+    def test_raising_the_demand_reclaims_bandwidth(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        _, changing = open_bneck_session(protocol, "r0", "r1", "changing", demand=10 * MBPS)
+        _, other = open_bneck_session(protocol, "r0", "r1", "other")
+        protocol.run_until_quiescent()
+        assert changing.current_rate == pytest.approx(10 * MBPS)
+        assert other.current_rate == pytest.approx(90 * MBPS)
+
+        protocol.change("changing", 500 * MBPS)
+        protocol.run_until_quiescent()
+        assert changing.current_rate == pytest.approx(50 * MBPS)
+        assert other.current_rate == pytest.approx(50 * MBPS)
+        assert validate_against_oracle(protocol).valid
+
+    def test_change_to_current_rate_is_cheap(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        open_bneck_session(protocol, "r0", "r1", "a")
+        open_bneck_session(protocol, "r0", "r1", "b")
+        protocol.run_until_quiescent()
+        packets_before = protocol.tracer.total
+        # Changing the demand of "a" to exactly its current rate still triggers
+        # a Probe cycle but converges immediately.
+        protocol.change("a", 50 * MBPS)
+        protocol.run_until_quiescent()
+        assert validate_against_oracle(protocol).valid
+        session_a_path = protocol.session("a").path_length
+        assert protocol.tracer.total - packets_before <= 4 * session_a_path
+
+
+class TestMixedChurn(object):
+    def test_simultaneous_join_leave_change(self):
+        network = dumbbell_topology(side_count=4, bottleneck_capacity=100 * MBPS)
+        protocol = BNeckProtocol(network)
+        _, a = open_bneck_session(protocol, "west0", "east0", "a")
+        _, b = open_bneck_session(protocol, "west1", "east1", "b")
+        _, c = open_bneck_session(protocol, "west2", "east2", "c")
+        protocol.run_until_quiescent()
+
+        now = protocol.simulator.now
+        protocol.leave("a", at=now + milliseconds(0.1))
+        protocol.change("b", 15 * MBPS, at=now + milliseconds(0.2))
+        _, d = open_bneck_session(protocol, "west3", "east3", "d", at=now + milliseconds(0.3))
+        protocol.run_until_quiescent()
+
+        assert b.current_rate == pytest.approx(15 * MBPS)
+        assert c.current_rate == pytest.approx(42.5 * MBPS)
+        assert d.current_rate == pytest.approx(42.5 * MBPS)
+        assert validate_against_oracle(protocol).valid
+        assert check_stability(protocol)
+
+    def test_rapid_fire_changes_converge(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        _, app = open_bneck_session(protocol, "r0", "r1", "volatile")
+        open_bneck_session(protocol, "r0", "r1", "steady")
+        protocol.run_until_quiescent()
+        now = protocol.simulator.now
+        # Several demand changes scheduled before the previous ones settle.
+        for index, demand in enumerate((10, 60, 5, 35)):
+            protocol.change("volatile", demand * MBPS, at=now + index * 1e-5)
+        protocol.run_until_quiescent()
+        assert app.current_rate == pytest.approx(35 * MBPS)
+        assert validate_against_oracle(protocol).valid
+        assert check_stability(protocol)
+
+    def test_arrival_during_convergence_of_previous_arrival(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        applications = []
+        # Joins spaced closer than a probe round-trip: every join interrupts
+        # the convergence of the previous one.
+        for index in range(8):
+            _, application = open_bneck_session(
+                protocol, "r0", "r1", "s%d" % index, at=index * 2e-6
+            )
+            applications.append(application)
+        protocol.run_until_quiescent()
+        for application in applications:
+            assert application.current_rate == pytest.approx(100 * MBPS / 8.0)
+        assert validate_against_oracle(protocol).valid
+        assert check_stability(protocol)

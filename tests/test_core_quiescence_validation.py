@@ -1,0 +1,113 @@
+"""Tests for the stability checker (Definition 2) and oracle validation."""
+
+import pytest
+
+from repro.core.centralized import centralized_bneck
+from repro.core.quiescence import check_stability
+from repro.core.validation import validate_against_oracle
+from repro.core.protocol import BNeckProtocol
+from repro.fairness.allocation import RateAllocation
+from repro.network.units import MBPS
+from tests.conftest import open_bneck_session, parking_lot_protocol, parking_lot_workload
+
+
+class TestStabilityChecker(object):
+    def test_empty_protocol_is_stable(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        report = check_stability(protocol)
+        assert report.stable
+        assert bool(report)
+        assert report.checked_links == 0
+
+    def test_quiescent_protocol_is_stable(self):
+        protocol = parking_lot_protocol()
+        parking_lot_workload(protocol)
+        protocol.run_until_quiescent()
+        report = check_stability(protocol)
+        assert report.stable
+        assert report.in_flight_packets == 0
+        assert report.unstable_links == []
+        assert report.checked_links > 0
+
+    def test_mid_run_protocol_is_not_stable(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        open_bneck_session(protocol, "r0", "r1", "a")
+        open_bneck_session(protocol, "r0", "r1", "b")
+        # Run only a few events: probes are still in flight.
+        for _ in range(3):
+            protocol.simulator.step()
+        report = check_stability(protocol)
+        assert not report.stable
+        assert not bool(report)
+        assert report.in_flight_packets > 0
+
+    def test_stability_restored_after_churn(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        open_bneck_session(protocol, "r0", "r1", "a")
+        open_bneck_session(protocol, "r0", "r1", "b")
+        protocol.run_until_quiescent()
+        protocol.leave("a")
+        protocol.change("b", 30 * MBPS)
+        protocol.run_until_quiescent()
+        assert check_stability(protocol).stable
+
+    def test_stability_implies_max_min_rates(self):
+        # Lemma 2 of the paper: once the network is stable, the recorded rates
+        # are the max-min fair rates.
+        protocol = parking_lot_protocol()
+        parking_lot_workload(protocol)
+        protocol.run_until_quiescent()
+        assert check_stability(protocol).stable
+        oracle = centralized_bneck(protocol.active_sessions())
+        assert protocol.current_allocation().equals(oracle)
+
+
+class TestValidation(object):
+    def test_valid_run(self):
+        protocol = parking_lot_protocol()
+        parking_lot_workload(protocol)
+        protocol.run_until_quiescent()
+        result = validate_against_oracle(protocol)
+        assert result.valid
+        assert bool(result)
+        assert result.matches_centralized
+        assert result.matches_waterfilling
+        assert result.oracles_agree
+        assert result.max_relative_error == pytest.approx(0.0, abs=1e-9)
+        assert result.violations == []
+
+    def test_validation_exposes_oracle_allocations(self):
+        protocol = parking_lot_protocol()
+        parking_lot_workload(protocol)
+        protocol.run_until_quiescent()
+        result = validate_against_oracle(protocol)
+        assert set(result.centralized.session_ids()) == set(result.distributed.session_ids())
+        assert result.centralized.equals(result.waterfilling)
+
+    def test_wrong_allocation_is_flagged(self):
+        protocol = parking_lot_protocol()
+        parking_lot_workload(protocol)
+        protocol.run_until_quiescent()
+        # Tamper with the allocation under test: halve every rate.
+        tampered = RateAllocation(
+            {sid: rate * 0.5 for sid, rate in protocol.current_allocation().as_dict().items()}
+        )
+        result = validate_against_oracle(protocol, allocation=tampered)
+        assert not result.valid
+        assert not result.matches_centralized
+        assert result.max_relative_error > 0.1
+        assert result.violations
+
+    def test_validation_of_mid_run_transient_is_invalid(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        open_bneck_session(protocol, "r0", "r1", "a")
+        open_bneck_session(protocol, "r0", "r1", "b")
+        # Before any Response arrives both sessions still believe 0.0.
+        result = validate_against_oracle(protocol)
+        assert not result.matches_centralized
+
+    def test_validation_on_empty_protocol(self, single_link_network):
+        protocol = BNeckProtocol(single_link_network)
+        result = validate_against_oracle(protocol)
+        assert result.valid
+        assert len(result.distributed) == 0

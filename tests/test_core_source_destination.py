@@ -1,0 +1,212 @@
+"""Handler-level unit tests for the SourceNode (Figure 3) and DestinationNode (Figure 4) tasks."""
+
+import pytest
+
+from repro.core.destination_node import DestinationNodeTask
+from repro.core.packets import (
+    BOTTLENECK,
+    Bottleneck,
+    Join,
+    Leave,
+    Probe,
+    RESPONSE,
+    Response,
+    SetBottleneck,
+    UPDATE,
+    Update,
+)
+from repro.core.source_node import SourceNodeTask
+from repro.core.state import IDLE, WAITING_RESPONSE
+from repro.fairness.algebra import FloatAlgebra
+from repro.network.topology import single_link_topology
+from repro.network.units import MBPS
+from repro.simulator.simulation import Simulator
+from tests.conftest import make_session
+
+
+@pytest.fixture
+def session(single_link_network):
+    # Access links are 1000 Mbps; the backbone link r0 -> r1 is 100 Mbps.
+    return make_session(single_link_network, "s1", "r0", "r1")
+
+
+@pytest.fixture
+def source(recorder, session):
+    return SourceNodeTask(Simulator(), recorder, session, FloatAlgebra())
+
+
+@pytest.fixture
+def destination(recorder, session):
+    return DestinationNodeTask(Simulator(), recorder, session)
+
+
+class TestSourceJoinLeaveChange(object):
+    def test_api_join_sends_join_with_effective_demand(self, source, recorder):
+        source.api_join(float("inf"))
+        packets = recorder.downstream_packets()
+        assert len(packets) == 1
+        assert isinstance(packets[0], Join)
+        # D_s = min(inf, 1000 Mbps access capacity).
+        assert packets[0].rate == pytest.approx(1000 * MBPS)
+        assert packets[0].restricting_link == source.link_id
+        assert source.state.state_of("s1") == WAITING_RESPONSE
+        assert "s1" in source.state.restricted
+        assert source.current_rate() == 0.0
+
+    def test_api_join_with_finite_demand(self, source, recorder):
+        source.api_join(10 * MBPS)
+        assert recorder.downstream_packets()[0].rate == pytest.approx(10 * MBPS)
+        assert source.demand == pytest.approx(10 * MBPS)
+        # The source's link state uses the modified-system capacity D_s.
+        assert source.state.capacity == pytest.approx(10 * MBPS)
+
+    def test_api_leave_sends_leave_and_clears_state(self, source, recorder):
+        source.api_join(float("inf"))
+        recorder.clear()
+        source.api_leave()
+        assert isinstance(recorder.downstream_packets()[0], Leave)
+        assert not source.state.knows("s1")
+        assert source.left
+
+    def test_packets_after_leave_are_dropped(self, source, recorder):
+        source.api_join(float("inf"))
+        source.api_leave()
+        recorder.clear()
+        source.receive(Response("s1", RESPONSE, 10 * MBPS, ("x", "y")), None)
+        source.receive(Update("s1"), None)
+        assert recorder.downstream_packets() == []
+
+    def test_api_change_reprobes_when_idle(self, source, recorder):
+        source.api_join(float("inf"))
+        source.receive(Response("s1", RESPONSE, 40 * MBPS, ("r0", "r1")), None)
+        recorder.clear()
+        source.api_change(20 * MBPS)
+        probes = [p for p in recorder.downstream_packets() if isinstance(p, Probe)]
+        assert len(probes) == 1
+        assert probes[0].rate == pytest.approx(20 * MBPS)
+        assert source.state.state_of("s1") == WAITING_RESPONSE
+
+    def test_api_change_while_probing_defers(self, source, recorder):
+        source.api_join(float("inf"))
+        recorder.clear()
+        source.api_change(20 * MBPS)
+        assert recorder.downstream_packets() == []
+        assert source.update_received
+        # When the in-flight Response finally arrives, a new Probe fires even
+        # though the Response itself was a plain RESPONSE.
+        source.receive(Response("s1", RESPONSE, 40 * MBPS, ("r0", "r1")), None)
+        probes = [p for p in recorder.downstream_packets() if isinstance(p, Probe)]
+        assert len(probes) == 1
+        assert probes[0].rate == pytest.approx(20 * MBPS)
+
+
+class TestSourceResponses(object):
+    def test_plain_response_records_rate_without_notification(self, source, recorder):
+        source.api_join(float("inf"))
+        source.receive(Response("s1", RESPONSE, 40 * MBPS, ("r0", "r1")), None)
+        assert source.current_rate() == pytest.approx(40 * MBPS)
+        assert source.state.state_of("s1") == IDLE
+        # The rate (40) is below the demand (1000): no API.Rate yet, the
+        # source waits for a Bottleneck indication.
+        assert recorder.notifications == []
+        assert not source.bottleneck_received
+
+    def test_response_at_full_demand_declares_bottleneck(self, source, recorder):
+        source.api_join(30 * MBPS)
+        source.receive(Response("s1", RESPONSE, 30 * MBPS, source.link_id), None)
+        assert recorder.notifications == [("s1", pytest.approx(30 * MBPS))]
+        assert source.bottleneck_received
+        set_bottlenecks = [p for p in recorder.downstream_packets() if isinstance(p, SetBottleneck)]
+        assert set_bottlenecks and set_bottlenecks[-1].found_bottleneck is True
+
+    def test_bottleneck_response_notifies_and_sets_beta(self, source, recorder):
+        source.api_join(float("inf"))
+        source.receive(Response("s1", BOTTLENECK, 40 * MBPS, ("r0", "r1")), None)
+        assert recorder.notifications == [("s1", pytest.approx(40 * MBPS))]
+        set_bottlenecks = [p for p in recorder.downstream_packets() if isinstance(p, SetBottleneck)]
+        assert len(set_bottlenecks) == 1
+        # The rate is below the demand, so the source itself is not the
+        # bottleneck: beta is False and the session moves to F_e at the source.
+        assert set_bottlenecks[0].found_bottleneck is False
+        assert "s1" in source.state.unrestricted
+
+    def test_update_response_triggers_new_probe(self, source, recorder):
+        source.api_join(float("inf"))
+        recorder.clear()
+        source.receive(Response("s1", UPDATE, 40 * MBPS, ("r0", "r1")), None)
+        probes = [p for p in recorder.downstream_packets() if isinstance(p, Probe)]
+        assert len(probes) == 1
+        assert source.state.state_of("s1") == WAITING_RESPONSE
+        assert not source.bottleneck_received
+
+
+class TestSourceUpdateAndBottleneckPackets(object):
+    def test_update_when_idle_triggers_probe(self, source, recorder):
+        source.api_join(float("inf"))
+        source.receive(Response("s1", RESPONSE, 40 * MBPS, ("r0", "r1")), None)
+        recorder.clear()
+        source.receive(Update("s1"), None)
+        probes = [p for p in recorder.downstream_packets() if isinstance(p, Probe)]
+        assert len(probes) == 1
+        assert source.state.state_of("s1") == WAITING_RESPONSE
+
+    def test_update_while_probing_is_remembered(self, source, recorder):
+        source.api_join(float("inf"))
+        recorder.clear()
+        source.receive(Update("s1"), None)
+        assert recorder.downstream_packets() == []
+        assert source.update_received
+
+    def test_bottleneck_packet_notifies_once(self, source, recorder):
+        source.api_join(float("inf"))
+        source.receive(Response("s1", RESPONSE, 40 * MBPS, ("r0", "r1")), None)
+        recorder.clear()
+        source.receive(Bottleneck("s1"), None)
+        assert recorder.notifications == [("s1", pytest.approx(40 * MBPS))]
+        assert source.is_quiescent_for_session()
+        recorder.clear()
+        # A duplicate Bottleneck changes nothing (bneck_rcv guard).
+        source.receive(Bottleneck("s1"), None)
+        assert recorder.notifications == []
+        assert recorder.downstream_packets() == []
+
+    def test_bottleneck_packet_ignored_while_probing(self, source, recorder):
+        source.api_join(float("inf"))
+        recorder.clear()
+        source.receive(Bottleneck("s1"), None)
+        assert recorder.notifications == []
+        assert recorder.downstream_packets() == []
+
+
+class TestDestinationNode(object):
+    def test_join_is_answered_with_a_response(self, destination, recorder):
+        destination.receive(Join("s1", 25 * MBPS, ("r0", "r1")), None)
+        packets = recorder.upstream_packets()
+        assert len(packets) == 1
+        assert isinstance(packets[0], Response)
+        assert packets[0].tau == RESPONSE
+        assert packets[0].rate == pytest.approx(25 * MBPS)
+        assert packets[0].restricting_link == ("r0", "r1")
+        assert destination.closed_probe_cycles == 1
+
+    def test_probe_is_answered_with_a_response(self, destination, recorder):
+        destination.receive(Probe("s1", 30 * MBPS, ("r0", "r1")), None)
+        assert isinstance(recorder.upstream_packets()[0], Response)
+        assert destination.closed_probe_cycles == 1
+
+    def test_set_bottleneck_without_bottleneck_triggers_update(self, destination, recorder):
+        destination.receive(SetBottleneck("s1", False), None)
+        packets = recorder.upstream_packets()
+        assert len(packets) == 1
+        assert isinstance(packets[0], Update)
+        assert destination.no_bottleneck_updates == 1
+
+    def test_set_bottleneck_with_bottleneck_is_absorbed(self, destination, recorder):
+        destination.receive(SetBottleneck("s1", True), None)
+        assert recorder.upstream_packets() == []
+
+    def test_leave_silences_the_destination(self, destination, recorder):
+        destination.receive(Leave("s1"), None)
+        destination.receive(Probe("s1", 10 * MBPS, ("r0", "r1")), None)
+        assert recorder.upstream_packets() == []
+        assert destination.left

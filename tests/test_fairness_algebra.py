@@ -1,0 +1,89 @@
+"""Unit tests for the rate algebras."""
+
+import fractions
+import math
+
+import pytest
+
+from repro.fairness.algebra import ExactAlgebra, FloatAlgebra, default_algebra
+
+
+class TestFloatAlgebra(object):
+    def test_exact_equality(self, float_algebra):
+        assert float_algebra.equal(5.0, 5.0)
+        assert not float_algebra.equal(5.0, 6.0)
+
+    def test_tolerant_equality(self, float_algebra):
+        base = 100e6 / 3.0
+        perturbed = base * (1.0 + 1e-12)
+        assert float_algebra.equal(base, perturbed)
+        assert not float_algebra.equal(base, base * (1.0 + 1e-6))
+
+    def test_less_is_strict(self, float_algebra):
+        base = 100e6 / 7.0
+        assert not float_algebra.less(base * (1.0 + 1e-13), base)
+        assert float_algebra.less(base, base * 1.01)
+        assert not float_algebra.less(base * 1.01, base)
+
+    def test_derived_comparisons(self, float_algebra):
+        assert float_algebra.less_equal(1.0, 1.0)
+        assert float_algebra.less_equal(1.0, 2.0)
+        assert float_algebra.greater(2.0, 1.0)
+        assert float_algebra.greater_equal(2.0, 2.0)
+        assert float_algebra.is_zero(0.0)
+        assert not float_algebra.is_zero(1.0)
+
+    def test_infinity_handling(self, float_algebra):
+        assert float_algebra.equal(math.inf, math.inf)
+        assert not float_algebra.equal(math.inf, 1e9)
+        assert float_algebra.less(1e9, math.inf)
+        assert not float_algebra.less(math.inf, 1e9)
+
+    def test_divide(self, float_algebra):
+        assert float_algebra.divide(10.0, 4.0) == pytest.approx(2.5)
+
+    def test_minimum(self, float_algebra):
+        assert float_algebra.minimum([3.0, 1.0, 2.0]) == 1.0
+        with pytest.raises(ValueError):
+            float_algebra.minimum([])
+
+
+class TestExactAlgebra(object):
+    def test_division_is_exact(self, exact_algebra):
+        third = exact_algebra.divide(1, 3)
+        assert third == fractions.Fraction(1, 3)
+        assert exact_algebra.equal(third + third + third, 1)
+
+    def test_equality_distinguishes_tiny_differences(self, exact_algebra):
+        third = exact_algebra.divide(1, 3)
+        assert not exact_algebra.equal(third, 0.3333333333)
+
+    def test_less(self, exact_algebra):
+        assert exact_algebra.less(exact_algebra.divide(1, 3), exact_algebra.divide(1, 2))
+        assert not exact_algebra.less(exact_algebra.divide(1, 2), exact_algebra.divide(1, 2))
+
+    def test_infinity_handling(self, exact_algebra):
+        assert exact_algebra.equal(math.inf, math.inf)
+        assert exact_algebra.less(fractions.Fraction(5), math.inf)
+        assert not exact_algebra.less(math.inf, fractions.Fraction(5))
+
+    def test_mixed_types(self, exact_algebra):
+        assert exact_algebra.equal(exact_algebra.divide(100, 4), 25.0)
+        assert exact_algebra.greater(25.5, exact_algebra.divide(100, 4))
+
+    def test_minimum(self, exact_algebra):
+        values = [exact_algebra.divide(1, 2), exact_algebra.divide(1, 3), math.inf]
+        assert exact_algebra.minimum(values) == fractions.Fraction(1, 3)
+
+
+def test_default_algebra_is_float_based():
+    algebra = default_algebra()
+    assert isinstance(algebra, FloatAlgebra)
+    # The default is shared (cheap), and usable right away.
+    assert default_algebra() is algebra
+
+
+def test_float_and_exact_agree_on_clear_cut_cases(float_algebra, exact_algebra):
+    for first, second in [(1.0, 2.0), (5.0, 5.0), (7.5, 2.5)]:
+        assert float_algebra.equal(first, second) == exact_algebra.equal(first, second)
+        assert float_algebra.less(first, second) == exact_algebra.less(first, second)

@@ -1,0 +1,134 @@
+"""Unit tests for the network graph model."""
+
+import pytest
+
+from repro.network.graph import Link, Network
+from repro.network.units import MBPS
+from repro.simulator.clock import microseconds
+
+
+class TestNodesAndLinks(object):
+    def test_add_router_and_host(self):
+        network = Network()
+        router = network.add_router("r1", tier="stub")
+        host = network.add_host("h1", attached_router="r1")
+        assert router.is_router and not router.is_host
+        assert host.is_host and not host.is_router
+        assert router.tier == "stub"
+        assert host.attached_router == "r1"
+        assert network.node("r1") is router
+
+    def test_duplicate_node_rejected(self):
+        network = Network()
+        network.add_router("r1")
+        with pytest.raises(ValueError):
+            network.add_router("r1")
+
+    def test_unknown_node_kind_rejected(self):
+        from repro.network.graph import Node
+
+        with pytest.raises(ValueError):
+            Node("x", "switch")
+
+    def test_bidirectional_link_by_default(self, two_router_network):
+        assert two_router_network.has_link("a", "b")
+        assert two_router_network.has_link("b", "a")
+        forward = two_router_network.link("a", "b")
+        reverse = two_router_network.reverse_link(forward)
+        assert reverse.source == "b" and reverse.target == "a"
+
+    def test_unidirectional_link(self):
+        network = Network()
+        network.add_router("a")
+        network.add_router("b")
+        network.add_link("a", "b", 10 * MBPS, 1e-6, bidirectional=False)
+        assert network.has_link("a", "b")
+        assert not network.has_link("b", "a")
+
+    def test_link_requires_existing_endpoints(self):
+        network = Network()
+        network.add_router("a")
+        with pytest.raises(KeyError):
+            network.add_link("a", "missing", 10 * MBPS, 1e-6)
+
+    def test_self_loop_rejected(self):
+        network = Network()
+        network.add_router("a")
+        with pytest.raises(ValueError):
+            network.add_link("a", "a", 10 * MBPS, 1e-6)
+
+    def test_duplicate_link_rejected(self, two_router_network):
+        with pytest.raises(ValueError):
+            two_router_network.add_link("a", "b", 10 * MBPS, 1e-6)
+
+    def test_invalid_link_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", 0.0, 1e-6)
+        with pytest.raises(ValueError):
+            Link("a", "b", 10 * MBPS, -1e-6)
+
+    def test_control_delay_combines_propagation_and_transmission(self):
+        link = Link("a", "b", 100 * MBPS, microseconds(5), control_packet_bits=1000.0)
+        expected = microseconds(5) + 1000.0 / (100 * MBPS)
+        assert link.control_delay() == pytest.approx(expected)
+
+    def test_node_and_link_equality(self):
+        link_a = Link("a", "b", 10 * MBPS, 1e-6)
+        link_b = Link("a", "b", 20 * MBPS, 2e-6)
+        link_c = Link("b", "a", 10 * MBPS, 1e-6)
+        assert link_a == link_b
+        assert link_a != link_c
+        assert hash(link_a) == hash(link_b)
+
+
+class TestTopologyQueries(object):
+    def test_neighbors_and_out_links(self, two_router_network):
+        assert two_router_network.neighbors("a") == ["b"]
+        out = two_router_network.out_links("a")
+        assert len(out) == 1
+        assert out[0].endpoints == ("a", "b")
+
+    def test_counting(self, two_router_network):
+        assert two_router_network.number_of_nodes() == 2
+        assert two_router_network.number_of_links() == 2
+        assert two_router_network.total_capacity() == pytest.approx(200 * MBPS)
+
+    def test_routers_and_hosts_partition_nodes(self, two_router_network):
+        two_router_network.attach_host("a", 10 * MBPS, 1e-6)
+        routers = {node.node_id for node in two_router_network.routers()}
+        hosts = {node.node_id for node in two_router_network.hosts()}
+        assert routers == {"a", "b"}
+        assert len(hosts) == 1
+        assert not routers & hosts
+
+    def test_is_connected(self):
+        network = Network()
+        network.add_router("a")
+        network.add_router("b")
+        network.add_router("c")
+        network.add_link("a", "b", 10 * MBPS, 1e-6)
+        assert not network.is_connected()
+        network.add_link("b", "c", 10 * MBPS, 1e-6)
+        assert network.is_connected()
+
+    def test_empty_network_is_connected(self):
+        assert Network().is_connected()
+
+
+class TestHostAttachment(object):
+    def test_attach_host_creates_both_directions(self, two_router_network):
+        host = two_router_network.attach_host("a", 50 * MBPS, microseconds(2))
+        assert two_router_network.has_link(host.node_id, "a")
+        assert two_router_network.has_link("a", host.node_id)
+        assert two_router_network.link(host.node_id, "a").capacity == 50 * MBPS
+        assert host.attached_router == "a"
+
+    def test_attach_host_generates_unique_ids(self, two_router_network):
+        first = two_router_network.attach_host("a", 10 * MBPS, 1e-6)
+        second = two_router_network.attach_host("b", 10 * MBPS, 1e-6)
+        assert first.node_id != second.node_id
+
+    def test_attach_host_with_explicit_id(self, two_router_network):
+        host = two_router_network.attach_host("a", 10 * MBPS, 1e-6, host_id="alice")
+        assert host.node_id == "alice"
+        assert two_router_network.has_node("alice")

@@ -1,0 +1,99 @@
+"""Unit tests for the gt-itm-style transit-stub generator."""
+
+import pytest
+
+from repro.network.transit_stub import (
+    BIG_PARAMETERS,
+    HOST_LINK_CAPACITY,
+    LAN,
+    LAN_LINK_DELAY,
+    MEDIUM_PARAMETERS,
+    SMALL_PARAMETERS,
+    STUB_LINK_CAPACITY,
+    TRANSIT_LINK_CAPACITY,
+    TransitStubParameters,
+    WAN,
+    WAN_MAX_DELAY,
+    WAN_MIN_DELAY,
+    generate_transit_stub,
+    medium_network,
+    small_network,
+    stub_routers,
+    transit_routers,
+)
+
+
+def test_parameter_router_counts():
+    assert SMALL_PARAMETERS.total_routers() == 110
+    assert TransitStubParameters(1, 2, 3, 4).total_routers() == 2 + 2 * 3 * 4
+    assert MEDIUM_PARAMETERS.total_routers() > SMALL_PARAMETERS.total_routers()
+    assert BIG_PARAMETERS.total_routers() > MEDIUM_PARAMETERS.total_routers()
+
+
+def test_parameters_reject_non_positive_values():
+    with pytest.raises(ValueError):
+        TransitStubParameters(0, 1, 1, 1)
+
+
+def test_small_network_matches_parameters_and_is_connected():
+    network = small_network(LAN, seed=3)
+    assert network.number_of_nodes() == SMALL_PARAMETERS.total_routers()
+    assert network.is_connected()
+
+
+def test_tiers_partition_routers():
+    network = small_network(LAN, seed=1)
+    stubs = set(stub_routers(network))
+    transits = set(transit_routers(network))
+    assert stubs
+    assert transits
+    assert not stubs & transits
+    assert len(stubs) + len(transits) == network.number_of_nodes()
+
+
+def test_capacity_tiers():
+    network = small_network(LAN, seed=2)
+    transits = set(transit_routers(network))
+    for link in network.links():
+        if link.source in transits or link.target in transits:
+            assert link.capacity == TRANSIT_LINK_CAPACITY
+        else:
+            assert link.capacity == STUB_LINK_CAPACITY
+    assert HOST_LINK_CAPACITY < STUB_LINK_CAPACITY < TRANSIT_LINK_CAPACITY
+
+
+def test_lan_delays_are_constant():
+    network = small_network(LAN, seed=4)
+    assert all(link.propagation_delay == LAN_LINK_DELAY for link in network.links())
+
+
+def test_wan_delays_are_in_range_and_not_constant():
+    network = small_network(WAN, seed=5)
+    delays = [link.propagation_delay for link in network.links()]
+    assert all(WAN_MIN_DELAY <= delay <= WAN_MAX_DELAY for delay in delays)
+    assert len(set(delays)) > 1
+
+
+def test_generation_is_deterministic_per_seed():
+    first = small_network(LAN, seed=9)
+    second = small_network(LAN, seed=9)
+    assert {l.endpoints for l in first.links()} == {l.endpoints for l in second.links()}
+    third = small_network(LAN, seed=10)
+    assert {l.endpoints for l in first.links()} != {l.endpoints for l in third.links()}
+
+
+def test_every_stub_domain_reaches_the_transit_core():
+    network = medium_network(LAN, seed=6)
+    assert network.is_connected()
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError):
+        generate_transit_stub(SMALL_PARAMETERS, scenario="metro")
+
+
+def test_multi_domain_topologies_are_connected():
+    parameters = TransitStubParameters(3, 4, 2, 3)
+    network = generate_transit_stub(parameters, scenario=LAN, seed=8)
+    assert network.number_of_nodes() == parameters.total_routers()
+    assert network.is_connected()

@@ -1,0 +1,108 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.simulator.event_queue import EventQueue
+
+
+def test_push_and_pop_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.push(2.0, lambda: fired.append("late"))
+    queue.push(1.0, lambda: fired.append("early"))
+    first = queue.pop()
+    second = queue.pop()
+    assert first.time == 1.0
+    assert second.time == 2.0
+
+
+def test_ties_break_by_insertion_order():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None, tag="first")
+    queue.push(1.0, lambda: None, tag="second")
+    queue.push(1.0, lambda: None, tag="third")
+    assert [queue.pop().tag for _ in range(3)] == ["first", "second", "third"]
+
+
+def test_pop_empty_returns_none():
+    queue = EventQueue()
+    assert queue.pop() is None
+
+
+def test_len_counts_live_events():
+    queue = EventQueue()
+    assert len(queue) == 0
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    queue.pop()
+    assert len(queue) == 1
+
+
+def test_bool_reflects_liveness():
+    queue = EventQueue()
+    assert not queue
+    queue.push(0.5, lambda: None)
+    assert queue
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None, tag="cancelled")
+    queue.push(2.0, lambda: None, tag="kept")
+    queue.cancel(event)
+    assert len(queue) == 1
+    popped = queue.pop()
+    assert popped.tag == "kept"
+
+
+def test_cancel_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert len(queue) == 0
+
+
+def test_peek_time_returns_earliest_live_time():
+    queue = EventQueue()
+    assert queue.peek_time() is None
+    early = queue.push(1.0, lambda: None)
+    queue.push(3.0, lambda: None)
+    assert queue.peek_time() == 1.0
+    queue.cancel(early)
+    assert queue.peek_time() == 3.0
+
+
+def test_negative_time_rejected():
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.push(-1.0, lambda: None)
+
+
+def test_clear_drops_everything():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    assert queue.pop() is None
+
+
+def test_event_repr_mentions_state():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None, tag="probe")
+    assert "pending" in repr(event)
+    queue.cancel(event)
+    assert "cancelled" in repr(event)
+
+
+def test_many_events_keep_global_order():
+    queue = EventQueue()
+    times = [5.0, 1.0, 3.0, 2.0, 4.0, 0.5, 2.5]
+    for time in times:
+        queue.push(time, lambda: None)
+    popped = []
+    while queue:
+        popped.append(queue.pop().time)
+    assert popped == sorted(times)

@@ -1,0 +1,87 @@
+"""Unit tests for the Process actor base class and the session application API."""
+
+import pytest
+
+from repro.core.api import RateNotification, SessionApplication
+from repro.network.units import MBPS
+from repro.simulator.process import Process
+from repro.simulator.simulation import Simulator
+
+
+class Echo(Process):
+    """A process that records everything it receives."""
+
+    def __init__(self, simulator, name):
+        super(Echo, self).__init__(simulator, name)
+        self.received = []
+
+    def receive(self, message, sender):
+        self.received.append((message, sender))
+
+
+class TestProcess(object):
+    def test_send_delivers_after_delay(self):
+        simulator = Simulator()
+        alice = Echo(simulator, "alice")
+        bob = Echo(simulator, "bob")
+        alice.send(bob, "hello", delay=0.25)
+        assert bob.received == []
+        simulator.run_until_quiescent()
+        assert bob.received == [("hello", alice)]
+        assert simulator.now == pytest.approx(0.25)
+
+    def test_send_uses_message_type_as_default_tag(self):
+        simulator = Simulator()
+        alice = Echo(simulator, "alice")
+        bob = Echo(simulator, "bob")
+        event = alice.send(bob, {"kind": "probe"}, delay=0.1)
+        assert event.tag == "dict"
+        tagged = alice.send(bob, "x", delay=0.1, tag="custom")
+        assert tagged.tag == "custom"
+
+    def test_call_later_runs_local_timer(self):
+        simulator = Simulator()
+        alice = Echo(simulator, "alice")
+        fired = []
+        alice.call_later(0.5, lambda: fired.append(simulator.now))
+        simulator.run_until_quiescent()
+        assert fired == [0.5]
+
+    def test_base_receive_is_abstract(self):
+        simulator = Simulator()
+        process = Process(simulator, "bare")
+        with pytest.raises(NotImplementedError):
+            process.receive("anything", None)
+
+    def test_repr_mentions_name(self):
+        assert "alice" in repr(Echo(Simulator(), "alice"))
+
+
+class TestSessionApplication(object):
+    def test_records_notifications_in_order(self):
+        application = SessionApplication("s1", 100 * MBPS)
+        assert application.current_rate is None
+        assert application.notification_count == 0
+        application.deliver_rate(0.001, 40 * MBPS)
+        application.deliver_rate(0.002, 25 * MBPS)
+        assert application.notification_count == 2
+        assert application.current_rate == 25 * MBPS
+        assert [n.rate for n in application.notifications] == [40 * MBPS, 25 * MBPS]
+
+    def test_on_rate_hook_is_invoked(self):
+        calls = []
+
+        class Reactive(SessionApplication):
+            def on_rate(self, time, rate):
+                calls.append((time, rate))
+
+        application = Reactive("s1", 10 * MBPS)
+        application.deliver_rate(0.5, 5 * MBPS)
+        assert calls == [(0.5, 5 * MBPS)]
+
+    def test_notification_record_fields(self):
+        notification = RateNotification(0.25, "s1", 12.5)
+        assert notification.time == 0.25
+        assert notification.session_id == "s1"
+        assert notification.rate == 12.5
+        assert "s1" in repr(notification)

@@ -1,0 +1,152 @@
+"""Unit tests for the simulation loop."""
+
+import pytest
+
+from repro.simulator.errors import SimulationLimitExceeded
+from repro.simulator.simulation import Simulator
+
+
+def test_clock_starts_at_zero(simulator):
+    assert simulator.now == 0.0
+    assert simulator.events_processed == 0
+
+
+def test_schedule_and_run_until_quiescent(simulator):
+    fired = []
+    simulator.schedule(0.5, lambda: fired.append(simulator.now))
+    simulator.schedule(0.2, lambda: fired.append(simulator.now))
+    quiescence_time = simulator.run_until_quiescent()
+    assert fired == [0.2, 0.5]
+    assert quiescence_time == 0.5
+    assert simulator.pending_events == 0
+
+
+def test_events_can_schedule_more_events(simulator):
+    fired = []
+
+    def first():
+        fired.append("first")
+        simulator.schedule(0.1, lambda: fired.append("second"))
+
+    simulator.schedule(1.0, first)
+    simulator.run_until_quiescent()
+    assert fired == ["first", "second"]
+    assert simulator.now == pytest.approx(1.1)
+
+
+def test_run_with_horizon_stops_before_later_events(simulator):
+    fired = []
+    simulator.schedule(1.0, lambda: fired.append("early"))
+    simulator.schedule(5.0, lambda: fired.append("late"))
+    simulator.run(until=2.0)
+    assert fired == ["early"]
+    assert simulator.now == 2.0
+    assert simulator.pending_events == 1
+    simulator.run(until=10.0)
+    assert fired == ["early", "late"]
+
+
+def test_run_advances_clock_to_horizon_when_queue_drains(simulator):
+    simulator.schedule(0.5, lambda: None)
+    simulator.run(until=3.0)
+    assert simulator.now == 3.0
+
+
+def test_schedule_negative_delay_rejected(simulator):
+    with pytest.raises(ValueError):
+        simulator.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_the_past_rejected(simulator):
+    simulator.schedule(1.0, lambda: None)
+    simulator.run_until_quiescent()
+    with pytest.raises(ValueError):
+        simulator.schedule_at(0.5, lambda: None)
+
+
+def test_schedule_at_absolute_time(simulator):
+    fired = []
+    simulator.schedule_at(2.5, lambda: fired.append(simulator.now))
+    simulator.run_until_quiescent()
+    assert fired == [2.5]
+
+
+def test_stop_condition_halts_run(simulator):
+    fired = []
+    for index in range(10):
+        simulator.schedule(index * 0.1 + 0.1, lambda index=index: fired.append(index))
+    simulator.run(stop_condition=lambda: len(fired) >= 3)
+    assert len(fired) == 3
+    assert simulator.pending_events == 7
+
+
+def test_stop_request_halts_run(simulator):
+    fired = []
+
+    def fire_and_stop():
+        fired.append("stopped-here")
+        simulator.stop()
+
+    simulator.schedule(0.1, fire_and_stop)
+    simulator.schedule(0.2, lambda: fired.append("never"))
+    simulator.run()
+    assert fired == ["stopped-here"]
+    assert simulator.pending_events == 1
+
+
+def test_cancelled_events_do_not_fire(simulator):
+    fired = []
+    event = simulator.schedule(0.5, lambda: fired.append("cancelled"))
+    simulator.schedule(1.0, lambda: fired.append("kept"))
+    simulator.cancel(event)
+    simulator.run_until_quiescent()
+    assert fired == ["kept"]
+
+
+def test_event_limit_raises(simulator):
+    simulator.max_events = 5
+
+    def reschedule():
+        simulator.schedule(0.1, reschedule)
+
+    simulator.schedule(0.1, reschedule)
+    with pytest.raises(SimulationLimitExceeded):
+        simulator.run_until_quiescent()
+    assert simulator.events_processed == 5
+
+
+def test_time_limit_raises():
+    simulator = Simulator(max_time=1.0)
+    simulator.schedule(2.0, lambda: None)
+    with pytest.raises(SimulationLimitExceeded):
+        simulator.run_until_quiescent()
+
+
+def test_step_returns_false_when_empty(simulator):
+    assert simulator.step() is False
+    simulator.schedule(0.1, lambda: None)
+    assert simulator.step() is True
+    assert simulator.step() is False
+
+
+def test_tracer_hook_sees_every_event_tag():
+    class RecordingTracer(object):
+        def __init__(self):
+            self.tags = []
+
+        def on_event(self, time, tag):
+            self.tags.append(tag)
+
+    tracer = RecordingTracer()
+    simulator = Simulator(tracer=tracer)
+    simulator.schedule(0.1, lambda: None, tag="alpha")
+    simulator.schedule(0.2, lambda: None, tag="beta")
+    simulator.run_until_quiescent()
+    assert tracer.tags == ["alpha", "beta"]
+
+
+def test_events_processed_counts(simulator):
+    for index in range(4):
+        simulator.schedule(0.1 * (index + 1), lambda: None)
+    simulator.run_until_quiescent()
+    assert simulator.events_processed == 4

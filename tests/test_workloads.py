@@ -1,0 +1,195 @@
+"""Tests for the workload generation package (scenarios, generator, dynamics)."""
+
+import math
+
+import pytest
+
+from repro.core.protocol import BNeckProtocol
+from repro.core.validation import validate_against_oracle
+from repro.network.transit_stub import LAN, WAN
+from repro.network.units import MBPS
+from repro.workloads.dynamics import DynamicPhase, apply_phase
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    infinite_demand,
+    mixed_demand,
+    uniform_demand,
+)
+from repro.workloads.scenarios import NETWORK_SIZES, NetworkScenario, build_network
+from repro.simulator.random_source import RandomSource
+
+
+class TestScenarios(object):
+    def test_known_sizes(self):
+        assert {"small", "medium", "big"} <= set(NETWORK_SIZES)
+
+    def test_build_small_lan(self):
+        scenario = NetworkScenario("small", LAN, seed=1)
+        network = scenario.build()
+        assert network.number_of_nodes() == NETWORK_SIZES["small"].total_routers()
+        assert scenario.label == "small-lan"
+
+    def test_build_network_shorthand(self):
+        network = build_network("small", WAN, seed=2)
+        assert network.is_connected()
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkScenario("gigantic", LAN)
+
+    def test_unknown_delay_model_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkScenario("small", "metro")
+
+
+class TestDemandSamplers(object):
+    def test_infinite(self):
+        sampler = infinite_demand()
+        assert math.isinf(sampler(RandomSource(1)))
+
+    def test_uniform_range(self):
+        sampler = uniform_demand(1 * MBPS, 10 * MBPS)
+        source = RandomSource(2)
+        for _ in range(50):
+            value = sampler(source)
+            assert 1 * MBPS <= value <= 10 * MBPS
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            uniform_demand(0.0, 10.0)
+        with pytest.raises(ValueError):
+            uniform_demand(10.0, 1.0)
+
+    def test_mixed_produces_both_kinds(self):
+        sampler = mixed_demand(0.5, 1 * MBPS, 10 * MBPS)
+        source = RandomSource(3)
+        values = [sampler(source) for _ in range(100)]
+        assert any(math.isinf(value) for value in values)
+        assert any(not math.isinf(value) for value in values)
+
+    def test_mixed_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            mixed_demand(1.5, 1.0, 2.0)
+
+
+class TestWorkloadGenerator(object):
+    def make_generator(self, seed=0):
+        network = build_network("small", LAN, seed=seed)
+        return network, WorkloadGenerator(network, seed=seed)
+
+    def test_specs_have_valid_fields(self):
+        _, generator = self.make_generator()
+        specs = generator.generate(20, join_window=(0.0, 1e-3))
+        assert len(specs) == 20
+        assert len({spec.session_id for spec in specs}) == 20
+        for spec in specs:
+            assert spec.source_router != spec.destination_router
+            assert 0.0 <= spec.join_time <= 1e-3
+            assert spec.demand > 0
+
+    def test_generation_is_deterministic_per_seed(self):
+        _, first = self.make_generator(seed=5)
+        _, second = self.make_generator(seed=5)
+        specs_a = first.generate(10)
+        specs_b = second.generate(10)
+        assert [(s.source_router, s.destination_router, s.join_time) for s in specs_a] == [
+            (s.source_router, s.destination_router, s.join_time) for s in specs_b
+        ]
+
+    def test_different_seeds_differ(self):
+        _, first = self.make_generator(seed=5)
+        _, second = self.make_generator(seed=6)
+        specs_a = first.generate(10)
+        specs_b = second.generate(10)
+        assert [(s.source_router, s.destination_router) for s in specs_a] != [
+            (s.source_router, s.destination_router) for s in specs_b
+        ]
+
+    def test_bad_join_window_rejected(self):
+        _, generator = self.make_generator()
+        with pytest.raises(ValueError):
+            generator.generate(5, join_window=(1e-3, 0.0))
+
+    def test_install_joins_sessions_on_protocol(self):
+        network, generator = self.make_generator(seed=7)
+        protocol = BNeckProtocol(network)
+        installed = generator.populate(protocol, 15, join_window=(0.0, 1e-3))
+        assert len(installed) == 15
+        protocol.run_until_quiescent()
+        assert len(protocol.registry) == 15
+        assert validate_against_oracle(protocol).valid
+
+    def test_pick_sessions_and_random_times(self):
+        _, generator = self.make_generator(seed=8)
+        picked = generator.pick_sessions(["a", "b", "c", "d"], 2)
+        assert len(picked) == 2
+        assert len(set(picked)) == 2
+        assert generator.pick_sessions(["a"], 5) == ["a"]
+        times = generator.random_times(3, (1.0, 2.0))
+        assert len(times) == 3
+        assert all(1.0 <= t <= 2.0 for t in times)
+
+    def test_requires_two_attachment_routers(self):
+        network = build_network("small", LAN, seed=1)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(network, attachment_routers=["only-one"])
+
+
+class TestDynamicPhases(object):
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            DynamicPhase("bad", joins=-1)
+        with pytest.raises(ValueError):
+            DynamicPhase("bad", window=0.0)
+        phase = DynamicPhase("ok", joins=2, leaves=1, changes=3)
+        assert phase.total_actions() == 6
+
+    def test_apply_join_phase(self):
+        network = build_network("small", LAN, seed=9)
+        generator = WorkloadGenerator(network, seed=9)
+        protocol = BNeckProtocol(network)
+        outcome = apply_phase(
+            protocol, generator, DynamicPhase("join", joins=20), active_ids=[]
+        )
+        assert len(outcome.joined_ids) == 20
+        assert outcome.active_after == 20
+        assert outcome.duration > 0
+        assert outcome.packets > 0
+        assert protocol.quiescent
+        assert validate_against_oracle(protocol).valid
+
+    def test_apply_leave_and_change_phase(self):
+        network = build_network("small", LAN, seed=10)
+        generator = WorkloadGenerator(network, seed=10)
+        protocol = BNeckProtocol(network)
+        first = apply_phase(protocol, generator, DynamicPhase("join", joins=20), active_ids=[])
+        active = first.joined_ids
+        mixed = apply_phase(
+            protocol,
+            generator,
+            DynamicPhase("mixed", joins=5, leaves=5, changes=5),
+            active_ids=active,
+            demand_sampler=uniform_demand(1 * MBPS, 50 * MBPS),
+            start_time=protocol.simulator.now + 1e-3,
+        )
+        assert len(mixed.left_ids) == 5
+        assert len(mixed.changed_ids) == 5
+        assert len(mixed.joined_ids) == 5
+        assert mixed.active_after == 20
+        assert set(mixed.left_ids) & set(mixed.changed_ids) == set()
+        assert len(protocol.registry) == 20
+        assert validate_against_oracle(protocol).valid
+
+    def test_phase_without_running_to_quiescence(self):
+        network = build_network("small", LAN, seed=11)
+        generator = WorkloadGenerator(network, seed=11)
+        protocol = BNeckProtocol(network)
+        outcome = apply_phase(
+            protocol,
+            generator,
+            DynamicPhase("join", joins=5),
+            active_ids=[],
+            run_to_quiescence=False,
+        )
+        assert outcome.quiescence_time == outcome.start_time
+        assert protocol.simulator.pending_events > 0
