@@ -12,11 +12,15 @@ design-relevant sensitivities:
   scenarios transmit fewer packets than LAN).
 """
 
+import time
+
 from repro.core.protocol import BNeckProtocol
 from repro.core.validation import validate_against_oracle
 from repro.network.topology import dumbbell_topology, parking_lot_topology
+from repro.network.transit_stub import big_network, medium_network
 from repro.network.units import MBPS
 from repro.simulator.clock import microseconds, milliseconds
+from repro.workloads.generator import WorkloadGenerator
 
 
 def _single_bottleneck_run(session_count, propagation_delay):
@@ -74,6 +78,92 @@ def test_parking_lot_scaling(benchmark, print_table):
     print_table("Ablation -- parking lot, growing chain length", "\n".join(lines))
     totals = list(packets.values())
     assert totals == sorted(totals)
+
+
+def _transit_stub_run(build, session_count, seed, trace_packets=True):
+    network = build("lan", seed=seed)
+    protocol = BNeckProtocol(network, trace_packets=trace_packets)
+    generator = WorkloadGenerator(network, seed=seed + session_count)
+    generator.populate(protocol, session_count, join_window=(0.0, 1e-3))
+    start = time.perf_counter()
+    quiescence = protocol.run_until_quiescent()
+    wall_clock = time.perf_counter() - start
+    return protocol, quiescence, wall_clock
+
+
+def test_transit_stub_scaling(benchmark, print_table):
+    """Larger transit-stub workloads exercising the refactored hot path.
+
+    This is the bench whose trajectory makes hot-path wins visible: it runs
+    the paper's Medium and Big topologies with session populations beyond the
+    Figure-5 sweeps, and reports simulated events per wall-clock second.
+    """
+
+    cases = (
+        ("medium", medium_network, 200),
+        ("medium", medium_network, 400),
+        ("big", big_network, 250),
+    )
+
+    def sweep():
+        rows = []
+        for label, build, session_count in cases:
+            protocol, quiescence, wall_clock = _transit_stub_run(build, session_count, seed=13)
+            assert validate_against_oracle(protocol).valid
+            rows.append(
+                (
+                    label,
+                    session_count,
+                    protocol.simulator.events_processed,
+                    protocol.tracer.total,
+                    quiescence,
+                    wall_clock,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    lines = ["network   sessions    events   packets   quiescence [ms]   events/s"]
+    for label, count, events, packets, quiescence, wall_clock in rows:
+        lines.append(
+            "%-9s %8d  %8d  %8d   %15.3f   %8.0f"
+            % (label, count, events, packets, quiescence * 1e3, events / wall_clock)
+        )
+    print_table("Ablation -- transit-stub scaling (hot-path throughput)", "\n".join(lines))
+    # More sessions on the same topology mean more protocol work.
+    medium_events = [events for label, _, events, _, _, _ in rows if label == "medium"]
+    assert medium_events == sorted(medium_events)
+    assert all(packets > 0 for _, _, _, packets, _, _ in rows)
+
+
+def test_null_tracer_zero_overhead_path(benchmark, print_table):
+    """The untraced fast path must process the same events, only faster."""
+
+    def compare():
+        results = {}
+        for label, trace_packets in (("traced", True), ("untraced", False)):
+            protocol, _, wall_clock = _transit_stub_run(
+                medium_network, 250, seed=17, trace_packets=trace_packets
+            )
+            results[label] = (
+                wall_clock,
+                protocol.simulator.events_processed,
+                protocol.tracer.total,
+            )
+        return results
+
+    results = benchmark.pedantic(compare, iterations=1, rounds=1)
+    print_table(
+        "Ablation -- packet accounting on vs off (Medium, 250 sessions)",
+        "\n".join(
+            "%-9s  %.3f s  events=%d  packets=%d" % (label, wall, events, packets)
+            for label, (wall, events, packets) in results.items()
+        ),
+    )
+    # Tracing must be observationally irrelevant to the simulation itself.
+    assert results["traced"][1] == results["untraced"][1]
+    assert results["untraced"][2] == 0
+    assert results["traced"][2] > 0
 
 
 def test_wan_delay_reduces_packets(benchmark, print_table):

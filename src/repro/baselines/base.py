@@ -27,7 +27,7 @@ from repro.fairness.allocation import RateAllocation
 from repro.network.routing import PathComputer, path_links
 from repro.network.session import Session, SessionRegistry
 from repro.simulator.simulation import Simulator
-from repro.simulator.tracing import PacketTracer
+from repro.simulator.tracing import NullPacketTracer, PacketTracer
 
 PROBE_PACKET = "Probe"
 RESPONSE_PACKET = "Response"
@@ -97,11 +97,17 @@ class BaselineProtocol(object):
         tracer=None,
         probe_interval=1e-3,
         routing_metric="hops",
+        trace_packets=True,
     ):
         self.network = network
         self.simulator = simulator or Simulator()
         self.algebra = algebra or default_algebra()
-        self.tracer = tracer or PacketTracer()
+        if tracer is None:
+            # Same opt-out contract as BNeckProtocol: time-only runs skip the
+            # per-packet accounting entirely.
+            tracer = PacketTracer() if trace_packets else NullPacketTracer()
+        self.tracer = tracer
+        self._trace_packets = getattr(tracer, "enabled", True)
         self.probe_interval = probe_interval
         self.registry = SessionRegistry()
         self.path_computer = PathComputer(network, metric=routing_metric)
@@ -186,7 +192,10 @@ class BaselineProtocol(object):
         return session, None
 
     def _schedule_api_call(self, callback, at):
-        if at is None or at <= self.simulator.now:
+        # Same discipline as BNeckProtocol: a call at exactly ``now`` is
+        # enqueued so it takes a deterministic (time, sequence) slot instead
+        # of running synchronously ahead of same-instant events.
+        if at is None or at < self.simulator.now:
             callback()
         else:
             self.simulator.schedule_at(at, callback, tag="%s.api" % self.name)
@@ -202,13 +211,16 @@ class BaselineProtocol(object):
         now = self.simulator.now
         self.probe_cycles += 1
 
+        tracer = self.tracer
+        trace = self._trace_packets
         granted = demand
         elapsed = 0.0
         for link in session.links:
             elapsed += link.control_delay()
-            self.tracer.record(
-                now + elapsed, PROBE_PACKET, session_id, link=link.endpoints, direction="downstream"
-            )
+            if trace:
+                tracer.record(
+                    now + elapsed, PROBE_PACKET, session_id, link=link.endpoints, direction="downstream"
+                )
             controller = self._controller_for(link)
             advertised = controller.on_probe(session_id, demand, current)
             if advertised < granted:
@@ -216,9 +228,10 @@ class BaselineProtocol(object):
         for link in reversed(session.links):
             reverse = self.network.reverse_link(link)
             elapsed += reverse.control_delay()
-            self.tracer.record(
-                now + elapsed, RESPONSE_PACKET, session_id, link=reverse.endpoints, direction="upstream"
-            )
+            if trace:
+                tracer.record(
+                    now + elapsed, RESPONSE_PACKET, session_id, link=reverse.endpoints, direction="upstream"
+                )
         round_trip = elapsed
         result = ProbeCycleResult(session_id, max(granted, 0.0), round_trip)
 

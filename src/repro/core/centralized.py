@@ -62,9 +62,14 @@ def centralized_bneck(sessions, algebra=None):
     capacities, members = _build_link_table(sessions, algebra)
 
     restricted = {key: set(ids) for key, ids in members.items()}   # R_e
-    fixed = {key: set() for key in members}                        # F_e
+    # Load of the already-fixed sessions crossing each link (the F_e sum),
+    # maintained incrementally: every session fixed in a round got the same
+    # minimal rate, so the sum grows by ``minimum * |moved|`` per link.
+    fixed_load = {key: 0 for key in members}
     rates = {}                                                     # lambda*_s
-    live_links = {key for key, ids in restricted.items() if ids}
+    # Kept as an insertion-ordered list so the minimum tie-break among
+    # near-equal estimates does not depend on set (hash) iteration order.
+    live_links = [key for key, ids in restricted.items() if ids]
 
     # Each round fixes the rate of at least one session, so the loop runs at
     # most once per session.
@@ -73,9 +78,8 @@ def centralized_bneck(sessions, algebra=None):
             break
         estimates = {}
         for key in live_links:
-            already_fixed = sum(rates[s] for s in fixed[key])
             estimates[key] = algebra.divide(
-                capacities[key] - already_fixed, len(restricted[key])
+                capacities[key] - fixed_load[key], len(restricted[key])
             )
         minimum = algebra.minimum(estimates.values())
         minimal_links = {
@@ -86,12 +90,18 @@ def centralized_bneck(sessions, algebra=None):
             newly_fixed |= restricted[key]
         for session_id in newly_fixed:
             rates[session_id] = minimum
-        remaining = live_links - minimal_links
-        for key in remaining:
-            moved = restricted[key] & newly_fixed
-            fixed[key] |= moved
-            restricted[key] -= moved
-        live_links = {key for key in remaining if restricted[key]}
+        next_live = []
+        for key in live_links:
+            if key in minimal_links:
+                continue
+            members_here = restricted[key]
+            moved = members_here & newly_fixed
+            if moved:
+                fixed_load[key] = fixed_load[key] + minimum * len(moved)
+                members_here -= moved
+            if members_here:
+                next_live.append(key)
+        live_links = next_live
     else:
         if live_links:
             raise RuntimeError("Centralized B-Neck did not terminate")

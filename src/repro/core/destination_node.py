@@ -38,21 +38,38 @@ class DestinationNodeTask(Process):
     def _send_upstream(self, packet):
         self.protocol.forward_upstream_from_destination(self.session_id, packet)
 
+    # Packet-type -> unbound handler, built once at class definition time (see
+    # the assignment below the handler definitions).
+    _DISPATCH = None
+
     def receive(self, message, sender):
         if self.left:
             return
-        if isinstance(message, (Join, Probe)):
-            # Figure 4, lines 3-7: close the Probe cycle.
-            self.closed_probe_cycles += 1
-            self._send_upstream(
-                Response(message.session_id, RESPONSE, message.rate, message.restricting_link)
-            )
-        elif isinstance(message, SetBottleneck):
-            # Figure 4, lines 9-10: no link confirmed a bottleneck -> re-probe.
-            if not message.found_bottleneck:
-                self.no_bottleneck_updates += 1
-                self._send_upstream(Update(message.session_id))
-        elif isinstance(message, Leave):
-            self.left = True
-        else:
+        handler = self._DISPATCH.get(message.__class__)
+        if handler is None:
             raise TypeError("%s cannot handle %r" % (self.name, message))
+        handler(self, message)
+
+    def on_probe_cycle_end(self, message):
+        """Figure 4, lines 3-7: close the Probe cycle."""
+        self.closed_probe_cycles += 1
+        self._send_upstream(
+            Response(message.session_id, RESPONSE, message.rate, message.restricting_link)
+        )
+
+    def on_set_bottleneck(self, message):
+        """Figure 4, lines 9-10: no link confirmed a bottleneck -> re-probe."""
+        if not message.found_bottleneck:
+            self.no_bottleneck_updates += 1
+            self._send_upstream(Update(message.session_id))
+
+    def on_leave(self, message):
+        self.left = True
+
+
+DestinationNodeTask._DISPATCH = {
+    Join: DestinationNodeTask.on_probe_cycle_end,
+    Probe: DestinationNodeTask.on_probe_cycle_end,
+    SetBottleneck: DestinationNodeTask.on_set_bottleneck,
+    Leave: DestinationNodeTask.on_leave,
+}

@@ -26,7 +26,7 @@ from repro.fairness.allocation import RateAllocation
 from repro.network.routing import PathComputer, path_links
 from repro.network.session import Session, SessionRegistry
 from repro.simulator.simulation import Simulator
-from repro.simulator.tracing import PacketTracer
+from repro.simulator.tracing import NullPacketTracer, PacketTracer
 
 DOWNSTREAM = "downstream"
 UPSTREAM = "upstream"
@@ -60,13 +60,23 @@ class BNeckProtocol(object):
         algebra: optional rate algebra; defaults to tolerance-based floats.
         tracer: optional :class:`~repro.simulator.tracing.PacketTracer`.
         routing_metric: ``"hops"`` (paper default) or ``"delay"``.
+        trace_packets: when false (and no explicit ``tracer`` is given) a
+            :class:`~repro.simulator.tracing.NullPacketTracer` is installed
+            and the per-packet accounting in :meth:`_transmit` is skipped
+            entirely -- use for runs that only report times, not counts.
     """
 
-    def __init__(self, network, simulator=None, algebra=None, tracer=None, routing_metric="hops"):
+    def __init__(self, network, simulator=None, algebra=None, tracer=None,
+                 routing_metric="hops", trace_packets=True):
         self.network = network
         self.simulator = simulator or Simulator()
         self.algebra = algebra or default_algebra()
-        self.tracer = tracer or PacketTracer()
+        if tracer is None:
+            tracer = PacketTracer() if trace_packets else NullPacketTracer()
+        self.tracer = tracer
+        # Hoisted once: _transmit runs per packet and must not pay a dynamic
+        # getattr there.  Rebind this flag if you ever swap `tracer` later.
+        self._trace_packets = getattr(tracer, "enabled", True)
         self.registry = SessionRegistry()
         self.path_computer = PathComputer(network, metric=routing_metric)
         self._router_links = {}
@@ -155,7 +165,12 @@ class BNeckProtocol(object):
         return session, application
 
     def _schedule_api_call(self, callback, at, tag):
-        if at is None or at <= self.simulator.now:
+        # Calls with no requested time (or a time already in the past) execute
+        # immediately.  A call at exactly ``now`` is *enqueued*, not executed
+        # synchronously: it must take its (time, sequence) slot in the event
+        # queue so it interleaves deterministically with packet deliveries
+        # scheduled at the same instant.
+        if at is None or at < self.simulator.now:
             callback()
         else:
             self.simulator.schedule_at(at, callback, tag=tag)
@@ -200,22 +215,21 @@ class BNeckProtocol(object):
         self._transmit(packet, crossing, target, UPSTREAM)
 
     def _transmit(self, packet, link, target, direction):
-        now = self.simulator.now
-        self.tracer.record(
-            now,
-            packet.type_name,
-            packet.session_id,
-            link=link.endpoints,
-            direction=direction,
-        )
+        if self._trace_packets:
+            self.tracer.record(
+                self.simulator.now,
+                packet.type_name,
+                packet.session_id,
+                link=link.endpoints,
+                direction=direction,
+            )
         self.in_flight_packets += 1
-        delay = link.control_delay()
 
         def deliver():
             self.in_flight_packets -= 1
             target.receive(packet, None)
 
-        self.simulator.schedule(delay, deliver, tag=packet.type_name)
+        self.simulator.schedule(link.control_delay(), deliver, tag=packet.type_name)
 
     # --------------------------------------------------------------- API.Rate
 

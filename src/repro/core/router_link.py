@@ -39,20 +39,16 @@ class RouterLinkTask(Process):
 
     # ----------------------------------------------------------- dispatching
 
+    # Packet-type -> unbound handler, built once at class definition time (see
+    # the assignment below the handler definitions) so ``receive`` does a
+    # single dict lookup per packet instead of rebuilding the table.
+    _DISPATCH = None
+
     def receive(self, message, sender):
-        handlers = {
-            Join: self.on_join,
-            Probe: self.on_probe,
-            Response: self.on_response,
-            Update: self.on_update,
-            Bottleneck: self.on_bottleneck,
-            SetBottleneck: self.on_set_bottleneck,
-            Leave: self.on_leave,
-        }
-        handler = handlers.get(type(message))
+        handler = self._DISPATCH.get(message.__class__)
         if handler is None:
             raise TypeError("%s cannot handle %r" % (self.name, message))
-        handler(message)
+        handler(self, message)
 
     # ----------------------------------------------------- downstream helpers
 
@@ -81,32 +77,35 @@ class RouterLinkTask(Process):
         ``R_e`` whose recorded rate exceeds ``B_e`` to run a new Probe cycle.
         """
         state = self.state
+        algebra = self.algebra
         while True:
             rate = state.bottleneck_rate()
-            offenders = [
-                session_id
-                for session_id in state.unrestricted
-                if state.rate_of(session_id) is not None
-                and self.algebra.greater_equal(state.rate_of(session_id), rate)
+            rated = state.unrestricted_rated()
+            offender_rates = [
+                recorded
+                for _session_id, recorded in rated
+                if algebra.greater_equal(recorded, rate)
             ]
-            if not offenders:
+            if not offender_rates:
                 break
-            largest = max(state.rate_of(session_id) for session_id in offenders)
-            moved = {
+            largest = max(offender_rates)
+            # Sorted so the incremental F_e load sum is updated in a
+            # reproducible order (set iteration order is hash-randomized).
+            moved = sorted(
                 session_id
-                for session_id in state.unrestricted
-                if state.rate_of(session_id) is not None
-                and self.algebra.equal(state.rate_of(session_id), largest)
-            }
+                for session_id, recorded in rated
+                if algebra.equal(recorded, largest)
+            )
             for session_id in moved:
                 state.add_restricted(session_id)
 
         rate = state.bottleneck_rate()
         for session_id in sorted(state.restricted):
+            recorded = state.rate_of(session_id)
             if (
-                state.state_of(session_id) == IDLE
-                and state.rate_of(session_id) is not None
-                and self.algebra.greater(state.rate_of(session_id), rate)
+                recorded is not None
+                and state.state_of(session_id) == IDLE
+                and algebra.greater(recorded, rate)
             ):
                 state.set_state(session_id, WAITING_PROBE)
                 self._send_upstream_update(session_id)
@@ -252,3 +251,14 @@ class RouterLinkTask(Process):
             state.set_state(other_id, WAITING_PROBE)
             self._send_upstream_update(other_id)
         self._send_downstream(Leave(session_id))
+
+
+RouterLinkTask._DISPATCH = {
+    Join: RouterLinkTask.on_join,
+    Probe: RouterLinkTask.on_probe,
+    Response: RouterLinkTask.on_response,
+    Update: RouterLinkTask.on_update,
+    Bottleneck: RouterLinkTask.on_bottleneck,
+    SetBottleneck: RouterLinkTask.on_set_bottleneck,
+    Leave: RouterLinkTask.on_leave,
+}

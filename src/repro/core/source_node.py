@@ -104,20 +104,19 @@ class SourceNodeTask(Process):
 
     # -------------------------------------------------------- packet handlers
 
+    # Packet-type -> unbound handler, built once at class definition time (see
+    # the assignment below the handler definitions).
+    _DISPATCH = None
+
     def receive(self, message, sender):
         if self.left:
             # Packets may still be in flight after API.Leave; they concern a
             # session that no longer exists and are dropped.
             return
-        handlers = {
-            Update: self.on_update,
-            Bottleneck: self.on_bottleneck,
-            Response: self.on_response,
-        }
-        handler = handlers.get(type(message))
+        handler = self._DISPATCH.get(message.__class__)
         if handler is None:
             raise TypeError("%s cannot handle %r" % (self.name, message))
-        handler(message)
+        handler(self, message)
 
     def on_update(self, packet):
         """Figure 3, lines 20-25."""
@@ -164,3 +163,10 @@ class SourceNodeTask(Process):
                 self.bottleneck_received = True
                 self.protocol.notify_rate(self.session_id, packet.rate)
                 self._send_downstream(SetBottleneck(self.session_id, True))
+
+
+SourceNodeTask._DISPATCH = {
+    Update: SourceNodeTask.on_update,
+    Bottleneck: SourceNodeTask.on_bottleneck,
+    Response: SourceNodeTask.on_response,
+}

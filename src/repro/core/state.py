@@ -37,6 +37,11 @@ class LinkState(object):
         self.unrestricted = set()      # F_e
         self._mu = {}                  # session id -> mu^e_s
         self._rate = {}                # session id -> lambda^e_s
+        # Incrementally maintained sum of the F_e rates, so bottleneck_rate()
+        # is O(1).  Every mutation of F_e or of an F_e member's rate must go
+        # through the mutation methods below to keep it in sync.  Starts at
+        # integer zero so exact (Fraction-valued) algebras stay exact.
+        self._unrestricted_load = 0
 
     # --------------------------------------------------------------- queries
 
@@ -63,11 +68,25 @@ class LinkState(object):
         """``B_e``; infinite when ``R_e`` is empty (the link restricts nobody)."""
         if not self.restricted:
             return math.inf
-        unrestricted_load = sum(
-            self._rate.get(session_id, 0.0) for session_id in self.unrestricted
-        )
-        remaining = self.capacity - unrestricted_load
+        remaining = self.capacity - self._unrestricted_load
         return self.algebra.divide(remaining, len(self.restricted))
+
+    def unrestricted_load(self):
+        """The maintained sum of the ``F_e`` rates (unknown rates count as 0)."""
+        return self._unrestricted_load
+
+    def unrestricted_rated(self):
+        """``(session_id, lambda^e_s)`` for every ``F_e`` member with a rate."""
+        rate_table = self._rate
+        return [
+            (session_id, rate_table[session_id])
+            for session_id in self.unrestricted
+            if session_id in rate_table
+        ]
+
+    def _recomputed_unrestricted_load(self):
+        """The F_e load summed from scratch; used by consistency tests."""
+        return sum(self._rate.get(session_id, 0.0) for session_id in self.unrestricted)
 
     # ------------------------------------------------------------- mutations
 
@@ -77,24 +96,41 @@ class LinkState(object):
         self._mu[session_id] = state
 
     def set_rate(self, session_id, rate):
+        if session_id in self.unrestricted:
+            old = self._rate.get(session_id, 0)
+            self._unrestricted_load = self._unrestricted_load - old + rate
         self._rate[session_id] = rate
 
     def add_restricted(self, session_id):
         """Put the session in ``R_e`` (removing it from ``F_e`` if needed)."""
-        self.unrestricted.discard(session_id)
+        if session_id in self.unrestricted:
+            self.unrestricted.remove(session_id)
+            self._drop_unrestricted_rate(session_id)
         self.restricted.add(session_id)
 
     def add_unrestricted(self, session_id):
         """Put the session in ``F_e`` (removing it from ``R_e`` if needed)."""
         self.restricted.discard(session_id)
-        self.unrestricted.add(session_id)
+        if session_id not in self.unrestricted:
+            self.unrestricted.add(session_id)
+            self._unrestricted_load += self._rate.get(session_id, 0)
 
     def forget(self, session_id):
         """Drop every trace of the session (used on ``Leave``)."""
         self.restricted.discard(session_id)
-        self.unrestricted.discard(session_id)
+        if session_id in self.unrestricted:
+            self.unrestricted.remove(session_id)
+            self._drop_unrestricted_rate(session_id)
         self._mu.pop(session_id, None)
         self._rate.pop(session_id, None)
+
+    def _drop_unrestricted_rate(self, session_id):
+        if self.unrestricted:
+            self._unrestricted_load -= self._rate.get(session_id, 0)
+        else:
+            # Re-anchor the running sum whenever F_e empties, so rounding
+            # residue from long add/remove histories cannot accumulate.
+            self._unrestricted_load = 0
 
     # ------------------------------------------------------- stability checks
 

@@ -53,11 +53,16 @@ def bottleneck_link_errors(sessions, assigned, reference, algebra=None):
     analysis = analyze_bottlenecks(sessions, reference, algebra=algebra)
     errors = []
     for link in analysis.saturated_links():
-        crossing = [session for session in sessions if session.crosses(link)]
-        expected = sum(float(reference.get(s.session_id, 0.0)) for s in crossing)
+        endpoints = link.endpoints
+        # The analysis already indexed the crossing sessions per link; sorted
+        # so the float sums below are order-stable across processes.
+        crossing = sorted(
+            analysis.restricted.get(endpoints, ())
+        ) + sorted(analysis.unrestricted.get(endpoints, ()))
+        expected = sum(float(reference.get(session_id, 0.0)) for session_id in crossing)
         if expected <= 0.0:
             continue
-        actual = sum(float(assigned.get(s.session_id, 0.0)) for s in crossing)
+        actual = sum(float(assigned.get(session_id, 0.0)) for session_id in crossing)
         errors.append(100.0 * (actual - expected) / expected)
     return errors
 

@@ -15,6 +15,11 @@ to rounding error, so every comparison in the library goes through a
 import fractions
 import math
 
+# Bound at module level: these run millions of times inside the simulation
+# hot path, where repeated attribute lookups on ``math`` are measurable.
+_isclose = math.isclose
+_isinf = math.isinf
+
 
 class RateAlgebra(object):
     """Comparison and division rules shared by all allocation algorithms."""
@@ -77,9 +82,9 @@ class FloatAlgebra(RateAlgebra):
     def equal(self, first, second):
         if first == second:
             return True
-        if math.isinf(first) or math.isinf(second):
-            return first == second
-        return math.isclose(
+        if _isinf(first) or _isinf(second):
+            return False
+        return _isclose(
             first,
             second,
             rel_tol=self.relative_tolerance,

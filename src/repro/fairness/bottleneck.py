@@ -26,14 +26,35 @@ def link_load(sessions, allocation, link):
     )
 
 
-def session_bottlenecks(session, sessions, allocation, algebra=None):
-    """Return the links of ``session`` that are bottlenecks of it."""
+def members_by_link(sessions):
+    """Index ``{link_endpoints: [session, ...]}`` over the sessions' paths.
+
+    Callers that run :func:`session_bottlenecks` for many sessions of the
+    same population build this once and pass it in, instead of letting every
+    call re-scan all session paths.
+    """
+    index = {}
+    for session in sessions:
+        for link in session.links:
+            index.setdefault(link.endpoints, []).append(session)
+    return index
+
+
+def session_bottlenecks(session, sessions, allocation, algebra=None, link_members=None):
+    """Return the links of ``session`` that are bottlenecks of it.
+
+    Args:
+        link_members: optional precomputed :func:`members_by_link` index for
+            ``sessions``; it is rebuilt per call when omitted.
+    """
     algebra = algebra or default_algebra()
     sessions = list(sessions)
+    if link_members is None:
+        link_members = members_by_link(sessions)
     own_rate = float(allocation.get(session.session_id, 0.0))
     result = []
     for link in session.links:
-        crossing = [other for other in sessions if other.crosses(link)]
+        crossing = link_members.get(link.endpoints, ())
         load = sum(float(allocation.get(other.session_id, 0.0)) for other in crossing)
         if not algebra.equal(load, link.capacity):
             continue
@@ -100,11 +121,10 @@ def analyze_bottlenecks(sessions, allocation, algebra=None):
     sessions = list(sessions)
 
     links = {}
-    members_by_link = {}
     for session in sessions:
         for link in session.links:
             links[link.endpoints] = link
-            members_by_link.setdefault(link.endpoints, []).append(session)
+    link_members = members_by_link(sessions)
 
     restricted = {}
     unrestricted = {}
@@ -112,7 +132,7 @@ def analyze_bottlenecks(sessions, allocation, algebra=None):
     bottleneck_links_of = {session.session_id: [] for session in sessions}
 
     for endpoints, link in links.items():
-        members = members_by_link[endpoints]
+        members = link_members[endpoints]
         load = sum(float(allocation.get(s.session_id, 0.0)) for s in members)
         saturated = algebra.equal(load, link.capacity)
         if not saturated:

@@ -13,7 +13,6 @@ water-filling and (centralized/distributed) B-Neck results must pass it.
 """
 
 from repro.fairness.algebra import default_algebra
-from repro.fairness.bottleneck import session_bottlenecks
 
 
 class MaxMinViolation(object):
@@ -54,13 +53,18 @@ def verify_allocation(sessions, allocation, algebra=None):
     if violations:
         return violations
 
-    # Feasibility on links.
+    # Feasibility on links.  The per-link member lists and saturation flags
+    # computed here are reused by the per-session bottleneck checks below, so
+    # the common case (every session demand-limited or quickly matched to a
+    # bottleneck) avoids any per-session rescan of the full population.
     links = {}
     for session in sessions:
         for link in session.links:
             links.setdefault(link.endpoints, (link, []))[1].append(session)
-    for link, members in links.values():
+    saturated = {}
+    for endpoints, (link, members) in links.items():
         load = sum(float(allocation.rate(s.session_id)) for s in members)
+        saturated[endpoints] = algebra.equal(load, link.capacity)
         if algebra.greater(load, link.capacity):
             violations.append(
                 MaxMinViolation(
@@ -85,8 +89,20 @@ def verify_allocation(sessions, allocation, algebra=None):
             continue
         if algebra.equal(rate, demand):
             continue
-        bottlenecks = session_bottlenecks(session, sessions, allocation, algebra)
-        if not bottlenecks:
+        # Definition 1, specialized to an existence test (mirrors
+        # fairness.bottleneck.session_bottlenecks -- keep the two in sync).
+        has_bottleneck = False
+        for link in session.links:
+            endpoints = link.endpoints
+            if not saturated[endpoints]:
+                continue
+            if all(
+                algebra.less_equal(float(allocation.rate(other.session_id)), rate)
+                for other in links[endpoints][1]
+            ):
+                has_bottleneck = True
+                break
+        if not has_bottleneck:
             violations.append(
                 MaxMinViolation(
                     "no-bottleneck",

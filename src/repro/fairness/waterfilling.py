@@ -53,6 +53,26 @@ def water_filling(sessions, algebra=None):
             link_capacity[link.endpoints] = algebra.divide(link.capacity, 1)
             link_members.setdefault(link.endpoints, []).append(session)
 
+    # Per-link bookkeeping maintained incrementally as rates grow and
+    # sessions freeze, so a round costs O(links + unfrozen) instead of
+    # O(links x members):
+    #
+    # * ``active_counts[e]``: unfrozen members of ``e``;
+    # * ``loads[e]``: total allocated rate crossing ``e``.  It tracks every
+    #   rate change exactly (the uniform increment contributes
+    #   ``increment * active_count``; demand clamps contribute their delta),
+    #   so it only deviates from a from-scratch sum by accumulated rounding
+    #   noise, orders of magnitude below the algebra's tolerance.
+    active_counts = {ep: len(members) for ep, members in link_members.items()}
+    loads = {ep: 0 for ep in link_members}
+    path_keys = {s.session_id: [l.endpoints for l in s.links] for s in sessions}
+    demands = {s.session_id: s.effective_demand() for s in sessions}
+
+    def freeze(session_id):
+        frozen.add(session_id)
+        for endpoints in path_keys[session_id]:
+            active_counts[endpoints] -= 1
+
     max_iterations = len(sessions) + len(link_objects) + 1
     for _ in range(max_iterations):
         unfrozen = [session for session in sessions if session.session_id not in frozen]
@@ -62,19 +82,17 @@ def water_filling(sessions, algebra=None):
         # The common rate increment is limited by the tightest link headroom
         # share and by the closest per-session demand.
         increment = math.inf
-        for endpoints, members in link_members.items():
-            active_members = [m for m in members if m.session_id not in frozen]
-            if not active_members:
+        for endpoints, active_count in active_counts.items():
+            if not active_count:
                 continue
-            load = sum(rates[m.session_id] for m in members)
-            headroom = link_capacity[endpoints] - load
+            headroom = link_capacity[endpoints] - loads[endpoints]
             if headroom < 0:
                 headroom = 0
-            share = algebra.divide(headroom, len(active_members))
+            share = algebra.divide(headroom, active_count)
             if algebra.less(share, increment):
                 increment = share
         for session in unfrozen:
-            remaining_demand = session.effective_demand() - rates[session.session_id]
+            remaining_demand = demands[session.session_id] - rates[session.session_id]
             if algebra.less(remaining_demand, increment):
                 increment = remaining_demand
 
@@ -86,24 +104,30 @@ def water_filling(sessions, algebra=None):
         if increment > 0:
             for session in unfrozen:
                 rates[session.session_id] += increment
+            for endpoints, active_count in active_counts.items():
+                if active_count:
+                    loads[endpoints] += increment * active_count
 
         # Freeze sessions that hit their demand.
         for session in unfrozen:
-            if algebra.greater_equal(rates[session.session_id], session.effective_demand()):
-                rates[session.session_id] = min(
-                    rates[session.session_id], session.effective_demand()
-                )
-                frozen.add(session.session_id)
+            session_id = session.session_id
+            if algebra.greater_equal(rates[session_id], demands[session_id]):
+                clamped = min(rates[session_id], demands[session_id])
+                if clamped != rates[session_id]:
+                    delta = clamped - rates[session_id]
+                    for endpoints in path_keys[session_id]:
+                        loads[endpoints] += delta
+                    rates[session_id] = clamped
+                freeze(session_id)
 
         # Freeze sessions crossing a saturated link.
         for endpoints, members in link_members.items():
-            active_members = [m for m in members if m.session_id not in frozen]
-            if not active_members:
+            if not active_counts[endpoints]:
                 continue
-            load = sum(rates[m.session_id] for m in members)
-            if algebra.greater_equal(load, link_capacity[endpoints]):
-                for member in active_members:
-                    frozen.add(member.session_id)
+            if algebra.greater_equal(loads[endpoints], link_capacity[endpoints]):
+                for member in members:
+                    if member.session_id not in frozen:
+                        freeze(member.session_id)
     else:
         remaining = [s.session_id for s in sessions if s.session_id not in frozen]
         if remaining:

@@ -63,7 +63,14 @@ class Link(object):
             control packet.
     """
 
-    __slots__ = ("source", "target", "capacity", "propagation_delay", "control_packet_bits")
+    __slots__ = (
+        "source",
+        "target",
+        "capacity",
+        "propagation_delay",
+        "control_packet_bits",
+        "_control_delay",
+    )
 
     def __init__(
         self,
@@ -82,6 +89,9 @@ class Link(object):
         self.capacity = capacity
         self.propagation_delay = propagation_delay
         self.control_packet_bits = control_packet_bits
+        # Links are immutable after construction, so the per-packet control
+        # delay can be computed once instead of on every transmission.
+        self._control_delay = propagation_delay + control_packet_bits / capacity
 
     @property
     def endpoints(self):
@@ -89,7 +99,7 @@ class Link(object):
 
     def control_delay(self):
         """One-way delay experienced by a control packet on this link."""
-        return self.propagation_delay + self.control_packet_bits / self.capacity
+        return self._control_delay
 
     def __repr__(self):
         return "Link(%r -> %r, capacity=%.3g, prop=%.3g)" % (

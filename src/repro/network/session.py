@@ -27,7 +27,15 @@ class Session(object):
             second; ``math.inf`` means "no explicit limit".
     """
 
-    __slots__ = ("session_id", "source", "destination", "node_path", "links", "demand")
+    __slots__ = (
+        "session_id",
+        "source",
+        "destination",
+        "node_path",
+        "links",
+        "demand",
+        "_link_keys",
+    )
 
     def __init__(self, session_id, source, destination, node_path, links, demand=INFINITE_RATE):
         if len(node_path) < 2:
@@ -42,6 +50,9 @@ class Session(object):
         self.node_path = list(node_path)
         self.links = list(links)
         self.demand = demand
+        # The path is immutable, so membership tests ("does the session cross
+        # this link?") are precomputed into an O(1) endpoint-key lookup.
+        self._link_keys = frozenset(link.endpoints for link in self.links)
 
     @property
     def access_link(self):
@@ -64,7 +75,7 @@ class Session(object):
 
     def crosses(self, link):
         """True when ``link`` is on this session's path."""
-        return link in self.links
+        return link.endpoints in self._link_keys
 
     def __repr__(self):
         return "Session(%r, %r -> %r, hops=%d, demand=%r)" % (

@@ -43,7 +43,13 @@ from repro.simulator.statistics import (
     percentile,
     summarize,
 )
-from repro.simulator.tracing import PacketRecord, PacketTracer, TraceEvent, Tracer
+from repro.simulator.tracing import (
+    NullPacketTracer,
+    PacketRecord,
+    PacketTracer,
+    TraceEvent,
+    Tracer,
+)
 
 __all__ = [
     "Event",
@@ -51,6 +57,7 @@ __all__ = [
     "Histogram",
     "MICROSECOND",
     "MILLISECOND",
+    "NullPacketTracer",
     "PacketRecord",
     "PacketTracer",
     "Process",

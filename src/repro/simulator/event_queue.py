@@ -5,6 +5,12 @@ increasing insertion counter.  Ties in time are therefore broken by insertion
 order, which keeps simulation runs fully deterministic for a given workload and
 random seed -- a requirement for the regression tests that compare distributed
 B-Neck against the centralized oracle.
+
+The heap itself stores ``(time, sequence, event)`` tuples rather than the
+:class:`Event` objects: tuple comparisons run entirely in C, so sift-up and
+sift-down never call back into Python on the hot path.  The :class:`Event`
+object is still what callers receive from :meth:`EventQueue.push` and
+:meth:`EventQueue.pop`, and is the handle used for cancellation.
 """
 
 import heapq
@@ -19,27 +25,39 @@ class Event(object):
         sequence: insertion counter used for deterministic tie-breaking.
         callback: zero-argument callable executed when the event fires.
         cancelled: set by :meth:`cancel`; cancelled events are skipped.
+        consumed: set by :meth:`EventQueue.pop` once the event has fired;
+            consumed events can no longer be cancelled.
         tag: optional label used by traces and tests.
     """
 
-    __slots__ = ("time", "sequence", "callback", "cancelled", "tag")
+    __slots__ = ("time", "sequence", "callback", "cancelled", "consumed", "tag")
 
     def __init__(self, time, sequence, callback, tag=None):
         self.time = time
         self.sequence = sequence
         self.callback = callback
         self.cancelled = False
+        self.consumed = False
         self.tag = tag
 
     def cancel(self):
-        """Mark the event as cancelled; it will be skipped when popped."""
+        """Mark the event as cancelled; it will be skipped when popped.
+
+        Prefer :meth:`EventQueue.cancel`, which also keeps the queue's
+        live-event count in sync; this raw marker does not.
+        """
         self.cancelled = True
 
     def __lt__(self, other):
         return (self.time, self.sequence) < (other.time, other.sequence)
 
     def __repr__(self):
-        state = "cancelled" if self.cancelled else "pending"
+        if self.cancelled:
+            state = "cancelled"
+        elif self.consumed:
+            state = "consumed"
+        else:
+            state = "pending"
         return "Event(time=%r, seq=%d, tag=%r, %s)" % (
             self.time,
             self.sequence,
@@ -51,6 +69,8 @@ class Event(object):
 class EventQueue(object):
     """Min-heap of :class:`Event` objects ordered by (time, insertion order)."""
 
+    __slots__ = ("_heap", "_counter", "_live")
+
     def __init__(self):
         self._heap = []
         self._counter = itertools.count()
@@ -60,40 +80,59 @@ class EventQueue(object):
         """Schedule ``callback`` at absolute ``time`` and return the event."""
         if time < 0:
             raise ValueError("event time must be non-negative, got %r" % time)
-        event = Event(time, next(self._counter), callback, tag=tag)
-        heapq.heappush(self._heap, event)
+        sequence = next(self._counter)
+        event = Event(time, sequence, callback, tag=tag)
+        heapq.heappush(self._heap, (time, sequence, event))
         self._live += 1
         return event
 
     def pop(self):
         """Remove and return the earliest non-cancelled event.
 
-        Returns ``None`` when the queue holds no live events.
+        The returned event is marked *consumed*: a later :meth:`cancel` on it
+        is a no-op and does not disturb the live-event count.  Returns ``None``
+        when the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if event.cancelled:
                 continue
+            event.consumed = True
             self._live -= 1
             return event
         return None
 
     def peek_time(self):
         """Return the time of the earliest live event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def cancel(self, event):
-        """Cancel a previously scheduled event."""
-        if not event.cancelled:
-            event.cancel()
-            self._live -= 1
+        """Cancel a previously scheduled event.
+
+        Cancelling an event that already fired (was popped) or was already
+        cancelled is a no-op, so the live-event count stays consistent no
+        matter how often or how late ``cancel`` is called.
+        """
+        if event.cancelled or event.consumed:
+            return
+        event.cancelled = True
+        self._live -= 1
 
     def clear(self):
-        """Drop every pending event."""
+        """Drop every pending event.
+
+        Dropped events are marked cancelled so a stale handle passed to
+        :meth:`cancel` afterwards stays a no-op instead of corrupting the
+        live-event count.
+        """
+        for entry in self._heap:
+            entry[2].cancelled = True
         self._heap = []
         self._live = 0
 

@@ -5,6 +5,7 @@ arrival times, WAN propagation delays) flow through a :class:`RandomSource`, so
 a single integer seed makes an entire experiment reproducible.
 """
 
+import hashlib
 import random
 
 
@@ -19,9 +20,16 @@ class RandomSource(object):
         """Derive an independent stream, deterministically, from a label.
 
         Forked streams let different subsystems (topology vs. workload) draw
-        random numbers without perturbing each other's sequences.
+        random numbers without perturbing each other's sequences.  The child
+        seed is derived with a *stable* hash: Python's built-in ``hash`` of a
+        string is randomized per process (PYTHONHASHSEED), which used to make
+        every "seeded" topology and workload differ from one interpreter run
+        to the next.
         """
-        derived_seed = hash((self.seed, label)) & 0x7FFFFFFF
+        digest = hashlib.sha256(
+            ("%r|%r" % (self.seed, label)).encode("utf-8")
+        ).digest()
+        derived_seed = int.from_bytes(digest[:8], "big") & 0x7FFFFFFF
         return RandomSource(derived_seed)
 
     def uniform(self, low, high):

@@ -94,6 +94,10 @@ class Simulator(object):
         event.callback()
         return True
 
+    def _unconstrained(self):
+        """True when no per-event bookkeeping (limits, tracing) is needed."""
+        return self.max_events is None and self.max_time is None and self.tracer is None
+
     def run(self, until=None, stop_condition=None):
         """Run the simulation.
 
@@ -110,19 +114,10 @@ class Simulator(object):
         self._running = True
         self._stop_requested = False
         try:
-            while True:
-                if self._stop_requested:
-                    break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                self._check_limits(next_time)
-                self.step()
-                if stop_condition is not None and stop_condition():
-                    break
+            if until is None and stop_condition is None and self._unconstrained():
+                self._drain_fast()
+            else:
+                self._run_general(until, stop_condition)
         finally:
             self._running = False
         if until is not None and not self._queue and self._now < until:
@@ -131,12 +126,55 @@ class Simulator(object):
             self._now = until
         return self._now
 
+    def _run_general(self, until, stop_condition):
+        """The fully-featured run loop: horizon, limits, tracer, predicate."""
+        while True:
+            if self._stop_requested:
+                break
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            self._check_limits(next_time)
+            self.step()
+            if stop_condition is not None and stop_condition():
+                break
+
+    def _drain_fast(self, check_stop=True):
+        """Drain the queue with no limit checks and no tracer hook.
+
+        Processes exactly the same events in exactly the same order as the
+        general loop; it only skips the per-event bookkeeping that is a no-op
+        when ``max_events``/``max_time``/``tracer`` are unset.
+
+        Args:
+            check_stop: honour :meth:`stop` between events (:meth:`run`
+                semantics).  :meth:`run_until_quiescent` passes ``False``
+                because it never observed the stop flag, and a stale flag
+                from an earlier stopped ``run`` must not end it early.
+        """
+        pop = self._queue.pop
+        while not (check_stop and self._stop_requested):
+            event = pop()
+            if event is None:
+                break
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+
     def run_until_quiescent(self):
         """Run until the event queue drains and return the quiescence time.
 
         The returned value is the timestamp of the last processed event, i.e.
         the instant at which the network stopped carrying control traffic.
         """
+        if self._unconstrained():
+            self._drain_fast(check_stop=False)
+            # After a drain the clock sits on the last processed event (or is
+            # untouched when the queue was already empty).
+            return self._now
         last_event_time = self._now
         while True:
             next_time = self._queue.peek_time()

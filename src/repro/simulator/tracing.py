@@ -70,6 +70,34 @@ class PacketRecord(object):
         )
 
 
+class NullPacketTracer(object):
+    """A tracer that records nothing, as cheaply as possible.
+
+    Protocol hot paths test the ``enabled`` attribute and skip the ``record``
+    call entirely, so an untraced simulation pays zero accounting cost per
+    packet.  The counting attributes exist (frozen at zero) so code that
+    reads ``tracer.total`` after a run keeps working.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        self.records = []
+        self.total = 0
+        self.by_type = collections.Counter()
+        self.by_session = collections.Counter()
+        self.last_packet_time = 0.0
+
+    def record(self, time, packet_type, session_id, link=None, direction=None):
+        """Accepted and discarded (callers normally skip the call entirely)."""
+
+    def clear(self):
+        pass
+
+    def __repr__(self):
+        return "NullPacketTracer()"
+
+
 class PacketTracer(object):
     """Accounts every control packet put on a link.
 
@@ -79,7 +107,13 @@ class PacketTracer(object):
       and per-interval histograms, cheap enough for large sweeps;
     * *full records* (``keep_records=True``): every :class:`PacketRecord` is
       kept, which the tests use to assert fine-grained properties.
+
+    The ``enabled`` attribute is what the protocol hot path checks before
+    calling :meth:`record`; it is always true for this class (use
+    :class:`NullPacketTracer` to turn packet accounting off).
     """
+
+    enabled = True
 
     def __init__(self, keep_records=False, interval=None):
         self.keep_records = keep_records

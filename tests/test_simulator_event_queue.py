@@ -97,6 +97,63 @@ def test_event_repr_mentions_state():
     assert "cancelled" in repr(event)
 
 
+def test_cancel_after_pop_keeps_len_consistent():
+    # Regression: cancelling an event that already fired used to decrement the
+    # live-event counter anyway, making len() (and Simulator.pending_events)
+    # undercount and quiescence detection fire early.
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None, tag="first")
+    queue.push(2.0, lambda: None, tag="second")
+    popped = queue.pop()
+    assert popped is first
+    assert len(queue) == 1
+    queue.cancel(first)
+    assert len(queue) == 1
+    queue.cancel(first)
+    assert len(queue) == 1
+    assert queue.pop().tag == "second"
+    assert len(queue) == 0
+
+
+def test_cancel_after_pop_then_cancel_live_event():
+    queue = EventQueue()
+    fired = queue.push(1.0, lambda: None)
+    live = queue.push(2.0, lambda: None)
+    queue.pop()
+    queue.cancel(fired)   # no-op: already consumed
+    queue.cancel(live)    # real cancellation
+    assert len(queue) == 0
+    assert queue.pop() is None
+
+
+def test_popped_events_are_marked_consumed():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    assert not event.consumed
+    queue.pop()
+    assert event.consumed
+    assert "consumed" in repr(event)
+
+
+def test_cancel_after_clear_is_a_noop():
+    queue = EventQueue()
+    stale = queue.push(1.0, lambda: None)
+    queue.clear()
+    queue.cancel(stale)
+    assert len(queue) == 0
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 1
+
+
+def test_cancel_before_pop_still_skips_event():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert len(queue) == 0
+    assert queue.pop() is None
+
+
 def test_many_events_keep_global_order():
     queue = EventQueue()
     times = [5.0, 1.0, 3.0, 2.0, 4.0, 0.5, 2.5]
