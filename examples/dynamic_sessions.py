@@ -1,7 +1,9 @@
 """Dynamic sessions: joins, leaves and rate changes, with API.Rate callbacks.
 
 This example exercises the full session API of the paper on a parking-lot
-topology:
+topology, driven through the shared experiment entry point
+(:class:`~repro.experiments.runner.ExperimentRunner` over a
+:class:`~repro.experiments.runner.ScenarioSpec` with a custom topology):
 
 * ``API.Join`` -- sessions arrive one after the other and B-Neck renegotiates
   the max-min rates each time;
@@ -10,17 +12,22 @@ topology:
 * ``API.Leave`` -- a session departs and the remaining ones are upgraded;
 * ``API.Rate`` -- every renegotiated rate is delivered to the application
   (a subclass of :class:`SessionApplication` that prints each notification).
+  Deliveries are batched per simulation instant -- the protocol default --
+  so an application sees one callback per renegotiated instant.
 
-After every change the protocol becomes quiescent again: the example prints the
-number of control packets spent on each reconfiguration.
+After every change the protocol becomes quiescent again: each
+:meth:`~repro.experiments.runner.ExperimentRunner.checkpoint` validates the
+allocation against the centralized oracle and reports the number of control
+packets spent on the reconfiguration.
 
 Run with::
 
     python examples/dynamic_sessions.py
 """
 
-from repro import BNeckProtocol, MBPS, parking_lot_topology
-from repro.core import SessionApplication, validate_against_oracle
+from repro import MBPS, parking_lot_topology
+from repro.core import SessionApplication
+from repro.experiments import ExperimentRunner, ScenarioSpec
 from repro.simulator.clock import microseconds
 
 
@@ -34,22 +41,25 @@ class PrintingApplication(SessionApplication):
         )
 
 
-def run_step(protocol, description):
-    packets_before = protocol.tracer.total
+def run_step(runner, description):
     print("%s" % description)
-    quiescence = protocol.run_until_quiescent()
+    measurement = runner.checkpoint(description)
+    assert measurement.validated
     print(
         "    quiescent again at t=%.3f ms (+%d control packets)"
-        % (quiescence * 1e3, protocol.tracer.total - packets_before)
+        % (measurement.quiescence_time * 1e3, measurement.packets)
     )
-    assert validate_against_oracle(protocol).valid
     print()
 
 
 def main():
     # Three 100 Mbps links in a row: r0 - r1 - r2 - r3.
-    network = parking_lot_topology(3, capacity=100 * MBPS)
-    protocol = BNeckProtocol(network)
+    spec = ScenarioSpec(
+        name="parking-lot",
+        network_builder=lambda: parking_lot_topology(3, capacity=100 * MBPS),
+    )
+    runner = ExperimentRunner(spec)
+    network, protocol = runner.network, runner.protocol
 
     def new_session(name, source_router, destination_router, demand=float("inf")):
         source = network.attach_host(source_router, 1000 * MBPS, microseconds(1))
@@ -62,29 +72,29 @@ def main():
         return application
 
     new_session("long", "r0", "r3")
-    run_step(protocol, "1. 'long' joins and gets the whole path (100 Mbps)")
+    run_step(runner, "1. 'long' joins and gets the whole path (100 Mbps)")
 
     new_session("short-a", "r0", "r1")
-    run_step(protocol, "2. 'short-a' joins on the first hop: both drop to 50 Mbps")
+    run_step(runner, "2. 'short-a' joins on the first hop: both drop to 50 Mbps")
 
     new_session("short-b", "r1", "r2")
     new_session("short-c", "r2", "r3")
-    run_step(protocol, "3. 'short-b' and 'short-c' join: every link is now a 50/50 bottleneck")
+    run_step(runner, "3. 'short-b' and 'short-c' join: every link is now a 50/50 bottleneck")
 
     protocol.change("short-a", 20 * MBPS)
-    run_step(protocol, "4. 'short-a' caps itself at 20 Mbps: 'long' can only use 50 elsewhere")
+    run_step(runner, "4. 'short-a' caps itself at 20 Mbps: 'long' can only use 50 elsewhere")
 
     protocol.leave("short-b")
-    run_step(protocol, "5. 'short-b' leaves: 'long' is still limited by the last hop")
+    run_step(runner, "5. 'short-b' leaves: 'long' is still limited by the last hop")
 
     protocol.leave("short-c")
-    run_step(protocol, "6. 'short-c' leaves too: 'long' grows to 80 Mbps (short-a keeps 20)")
+    run_step(runner, "6. 'short-c' leaves too: 'long' grows to 80 Mbps (short-a keeps 20)")
 
     print("final rates:")
     allocation = protocol.current_allocation()
     for session_id, rate in sorted(allocation.as_dict().items()):
         print("    %-8s %7.2f Mbps" % (session_id, rate / MBPS))
-    print("total control packets over the whole run: %d" % protocol.tracer.total)
+    print("total control packets over the whole run: %d" % runner.tracer.total)
 
 
 if __name__ == "__main__":

@@ -14,6 +14,8 @@ The package mirrors the paper's Section III structure:
 * :mod:`~repro.core.destination_node` -- the DestinationNode task (Figure 4).
 * :mod:`~repro.core.api` -- the session-facing primitives
   (``API.Join`` / ``API.Leave`` / ``API.Change`` / ``API.Rate``).
+* :mod:`~repro.core.notifications` -- pluggable ``API.Rate`` record storage
+  (full / ring-buffer / null) behind ``BNeckProtocol.notifications``.
 * :mod:`~repro.core.protocol` -- :class:`BNeckProtocol`, which instantiates the
   tasks over a network + simulator, routes packets along session paths with
   link delays, and exposes quiescence-and-rates helpers.
@@ -24,6 +26,12 @@ The package mirrors the paper's Section III structure:
 
 from repro.core.api import RateNotification, SessionApplication
 from repro.core.centralized import centralized_bneck
+from repro.core.notifications import (
+    NotificationLog,
+    NullNotificationLog,
+    RingNotificationLog,
+    make_notification_log,
+)
 from repro.core.packets import (
     BOTTLENECK,
     Bottleneck,
@@ -50,8 +58,11 @@ __all__ = [
     "Join",
     "Leave",
     "LinkState",
+    "NotificationLog",
+    "NullNotificationLog",
     "PACKET_TYPES",
     "Probe",
+    "RingNotificationLog",
     "RESPONSE",
     "RateNotification",
     "Response",
@@ -65,5 +76,6 @@ __all__ = [
     "WAITING_RESPONSE",
     "centralized_bneck",
     "check_stability",
+    "make_notification_log",
     "validate_against_oracle",
 ]

@@ -13,11 +13,45 @@ network and a discrete-event simulator:
 * it exposes the session API (``join`` / ``leave`` / ``change``), records every
   ``API.Rate`` notification, and provides quiescence and allocation helpers
   used by the experiments and tests.
+
+Notification batching
+---------------------
+
+``API.Rate`` deliveries to :class:`~repro.core.api.SessionApplication`
+objects are *batched per simulation instant* by default: however many times a
+session's rate is renegotiated within one timestamp, the application receives
+a single ``deliver_rate`` callback carrying the final value, executed at the
+end of the instant through
+:meth:`~repro.simulator.simulation.Simulator.call_at_instant_end`.  Batching
+never alters the simulation itself (notifications schedule no events), so
+packet counts, event counts and final allocations are bit-identical with
+batching on or off; only the application-facing callback stream is coalesced.
+Pass ``batch_notifications=False`` for the historical synchronous per-packet
+delivery.
+
+With nonzero link delays a session's consecutive renegotiations land on
+*distinct* instants (each re-probe costs at least a round trip), so
+per-instant coalescing alone rarely drops callbacks.  For churn-heavy
+experiments, ``notification_batch_window=w`` widens the batch to logical
+windows of ``w`` seconds: pending rates are delivered at the next multiple of
+``w``, coalescing the whole convergence transient of a churn burst into one
+application update per session per window.  Windowed flushes are scheduled as
+ordinary simulation events, so (unlike per-instant batching) they are visible
+in ``events_processed``, may extend the reported quiescence time by at most
+one window, and count against ``Simulator.max_events`` / ``max_time`` caps --
+which is why they are opt-in.
+
+The record of ``API.Rate`` invocations is kept in a pluggable *notification
+log* (see :mod:`repro.core.notifications`): the default retains everything
+(list-compatible via the ``notifications`` attribute); churn-heavy runs can
+pass ``notification_log="ring"`` (bounded memory) or ``"null"`` (keep
+nothing) without affecting protocol behaviour.
 """
 
 import math
 
-from repro.core.api import RateNotification, SessionApplication
+from repro.core.api import SessionApplication
+from repro.core.notifications import make_notification_log
 from repro.core.destination_node import DestinationNodeTask
 from repro.core.router_link import RouterLinkTask
 from repro.core.source_node import SourceNodeTask
@@ -64,10 +98,22 @@ class BNeckProtocol(object):
             :class:`~repro.simulator.tracing.NullPacketTracer` is installed
             and the per-packet accounting in :meth:`_transmit` is skipped
             entirely -- use for runs that only report times, not counts.
+        notification_log: where ``API.Rate`` records are kept -- ``"full"``
+            (default, unbounded), ``"ring"`` / ``"ring:N"``, ``"null"``, or a
+            log object (see :func:`repro.core.notifications.make_notification_log`).
+        batch_notifications: when true (default) application ``API.Rate``
+            callbacks are coalesced per simulation instant (see the module
+            docstring); when false each ``notify_rate`` call reaches the
+            application synchronously.
+        notification_batch_window: optional window width (seconds) for
+            coalescing across instants; ``None`` (default) batches per
+            instant.  Ignored when ``batch_notifications`` is false.
     """
 
     def __init__(self, network, simulator=None, algebra=None, tracer=None,
-                 routing_metric="hops", trace_packets=True):
+                 routing_metric="hops", trace_packets=True,
+                 notification_log=None, batch_notifications=True,
+                 notification_batch_window=None):
         self.network = network
         self.simulator = simulator or Simulator()
         self.algebra = algebra or default_algebra()
@@ -86,7 +132,16 @@ class BNeckProtocol(object):
         self._wirings = {}
         self._sessions = {}
         self._last_rate = {}
-        self.notifications = []
+        self.notification_log = make_notification_log(notification_log)
+        self.batch_notifications = bool(batch_notifications)
+        if notification_batch_window is not None and notification_batch_window <= 0:
+            raise ValueError(
+                "notification_batch_window must be positive, got %r"
+                % (notification_batch_window,)
+            )
+        self.notification_batch_window = notification_batch_window
+        self._pending_rates = {}
+        self.rate_callbacks = 0
         self.in_flight_packets = 0
         self._session_counter = 0
 
@@ -229,20 +284,69 @@ class BNeckProtocol(object):
             self.in_flight_packets -= 1
             target.receive(packet, None)
 
-        self.simulator.schedule(link.control_delay(), deliver, tag=packet.type_name)
+        # Packet deliveries are never cancelled: store the bare callback (no
+        # Event handle allocation) on the queue's fast path.
+        self.simulator.schedule_callback(link.control_delay(), deliver, tag=packet.type_name)
 
     # --------------------------------------------------------------- API.Rate
 
+    @property
+    def notifications(self):
+        """The retained ``API.Rate`` records (sequence-compatible log)."""
+        return self.notification_log
+
     def notify_rate(self, session_id, rate):
-        """Record an ``API.Rate`` invocation and deliver it to the application."""
+        """Record an ``API.Rate`` invocation and deliver it to the application.
+
+        With ``batch_notifications`` (the default) the application callback is
+        deferred to the end of the current simulation instant and coalesced:
+        only the last rate a session was notified within the instant reaches
+        ``deliver_rate``.  Records, ``last_notified_rate`` and the returned
+        notification object always reflect every invocation.
+        """
         time = self.simulator.now
-        notification = RateNotification(time, session_id, rate)
-        self.notifications.append(notification)
+        notification = self.notification_log.record(time, session_id, rate)
         self._last_rate[session_id] = rate
-        application = self._applications.get(session_id)
-        if application is not None:
-            application.deliver_rate(time, rate)
+        if self.batch_notifications:
+            pending = self._pending_rates
+            if not pending:
+                window = self.notification_batch_window
+                if window is None:
+                    self.simulator.call_at_instant_end(self._flush_pending_rates)
+                else:
+                    # Flush at the next window boundary strictly after `now`.
+                    boundary = (math.floor(time / window) + 1.0) * window
+                    self.simulator.schedule_callback(
+                        boundary - time, self._flush_pending_rates, tag="API.Rate.flush"
+                    )
+            pending[session_id] = rate
+        else:
+            application = self._applications.get(session_id)
+            if application is not None:
+                self.rate_callbacks += 1
+                application.deliver_rate(time, rate)
         return notification
+
+    def _flush_pending_rates(self):
+        """End-of-instant hook: deliver one coalesced ``API.Rate`` per session.
+
+        Dict insertion order makes delivery order deterministic: sessions are
+        notified in the order of their *first* rate update within the instant,
+        each carrying its *final* rate.
+        """
+        pending = self._pending_rates
+        if not pending:
+            return
+        self._pending_rates = {}
+        time = self.simulator.now
+        applications = self._applications
+        delivered = 0
+        for session_id, rate in pending.items():
+            application = applications.get(session_id)
+            if application is not None:
+                delivered += 1
+                application.deliver_rate(time, rate)
+        self.rate_callbacks += delivered
 
     def last_notified_rate(self, session_id):
         """The last rate notified to a session (``None`` before the first)."""

@@ -16,6 +16,13 @@ the series plotted in the corresponding paper figure:
 :mod:`~repro.experiments.metrics` holds the error definitions and
 :mod:`~repro.experiments.reporting` renders result objects as plain-text tables
 (the benchmark harness prints these).
+
+:mod:`~repro.experiments.runner` is the shared scaffolding underneath all
+three harnesses: :class:`~repro.experiments.runner.ScenarioSpec` declares a
+protocol-under-workload run and
+:class:`~repro.experiments.runner.ExperimentRunner` builds, drives, validates
+and measures it.  The examples and the opt-in paper-scale benchmarks use the
+same entry point.
 """
 
 from repro.experiments.experiment1 import (
@@ -47,6 +54,11 @@ from repro.experiments.reporting import (
     format_experiment3_table,
     format_table,
 )
+from repro.experiments.runner import (
+    ExperimentRunner,
+    RunMeasurement,
+    ScenarioSpec,
+)
 
 __all__ = [
     "DEFAULT_PHASES",
@@ -56,7 +68,10 @@ __all__ = [
     "Experiment2Result",
     "Experiment3Config",
     "Experiment3Result",
+    "ExperimentRunner",
     "ProtocolTimeSeries",
+    "RunMeasurement",
+    "ScenarioSpec",
     "bottleneck_link_errors",
     "error_summary",
     "format_experiment1_table",

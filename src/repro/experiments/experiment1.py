@@ -17,10 +17,9 @@ WAN times dominated by propagation, LAN producing more packets than WAN) are
 preserved.  Pass larger ``session_counts`` to push further.
 """
 
-from repro.core.protocol import BNeckProtocol
-from repro.core.validation import validate_against_oracle
+from repro.experiments.runner import ExperimentRunner, ScenarioSpec
 from repro.network.transit_stub import LAN, WAN
-from repro.workloads.generator import WorkloadGenerator, infinite_demand
+from repro.workloads.generator import infinite_demand
 from repro.workloads.scenarios import NetworkScenario
 
 DEFAULT_SESSION_COUNTS = (10, 30, 100, 300, 1000)
@@ -112,28 +111,24 @@ class Experiment1Row(object):
 def run_experiment1_case(scenario, session_count, config=None):
     """Run one (scenario, session count) cell and return its :class:`Experiment1Row`."""
     config = config or Experiment1Config()
-    network = scenario.build()
-    protocol = BNeckProtocol(network)
-    generator = WorkloadGenerator(network, seed=config.seed + session_count)
-    generator.populate(
-        protocol,
+    runner = ExperimentRunner(
+        ScenarioSpec.from_network_scenario(scenario, validate=config.validate),
+        generator_seed=config.seed + session_count,
+    )
+    runner.populate(
         session_count,
         join_window=(0.0, config.join_window),
         demand_sampler=config.demand_sampler,
     )
-    quiescence_time = protocol.run_until_quiescent()
-    validated = True
-    if config.validate:
-        validated = validate_against_oracle(protocol).valid
-    total_packets = protocol.tracer.total
+    measurement = runner.checkpoint("mass join of %d sessions" % session_count)
     return Experiment1Row(
         scenario_label=scenario.label,
         session_count=session_count,
-        time_to_quiescence=quiescence_time,
-        total_packets=total_packets,
-        packets_per_session=total_packets / float(session_count),
-        events_processed=protocol.simulator.events_processed,
-        validated=validated,
+        time_to_quiescence=measurement.quiescence_time,
+        total_packets=measurement.total_packets,
+        packets_per_session=measurement.total_packets / float(session_count),
+        events_processed=measurement.events_processed,
+        validated=measurement.validated,
     )
 
 

@@ -15,12 +15,10 @@ The paper reports (a) the time each phase needs to reach quiescence again and
 by default (see DESIGN.md); the ratios between phases are preserved.
 """
 
-from repro.core.protocol import BNeckProtocol
-from repro.core.validation import validate_against_oracle
+from repro.experiments.runner import ExperimentRunner, ScenarioSpec
 from repro.network.transit_stub import LAN
-from repro.simulator.tracing import PacketTracer
-from repro.workloads.dynamics import DynamicPhase, apply_phase
-from repro.workloads.generator import WorkloadGenerator, uniform_demand
+from repro.workloads.dynamics import DynamicPhase
+from repro.workloads.generator import uniform_demand
 from repro.workloads.scenarios import NetworkScenario
 
 
@@ -52,6 +50,9 @@ class Experiment2Config(object):
         demand_high=80e6,
         seed=0,
         validate=True,
+        notification_log=None,
+        batch_notifications=True,
+        notification_batch_window=None,
     ):
         self.size = size
         self.delay_model = delay_model
@@ -64,12 +65,28 @@ class Experiment2Config(object):
         self.demand_high = demand_high
         self.seed = seed
         self.validate = validate
+        self.notification_log = notification_log
+        self.batch_notifications = batch_notifications
+        self.notification_batch_window = notification_batch_window
 
     def phases(self):
         return DEFAULT_PHASES(self.initial_sessions, self.churn_fraction, self.window)
 
     def scenario(self):
         return NetworkScenario(self.size, self.delay_model, seed=self.seed)
+
+    def spec(self):
+        """The :class:`~repro.experiments.runner.ScenarioSpec` of this config."""
+        return ScenarioSpec(
+            size=self.size,
+            delay_model=self.delay_model,
+            seed=self.seed,
+            tracer_interval=self.interval,
+            notification_log=self.notification_log,
+            batch_notifications=self.batch_notifications,
+            notification_batch_window=self.notification_batch_window,
+            validate=self.validate,
+        )
 
     def __repr__(self):
         return "Experiment2Config(size=%r, sessions=%d, churn=%.0f%%)" % (
@@ -82,11 +99,14 @@ class Experiment2Config(object):
 class Experiment2Result(object):
     """Per-phase quiescence timings plus the per-interval packet-type series."""
 
-    def __init__(self, config, outcomes, interval_series, validated):
+    def __init__(self, config, outcomes, interval_series, validated, rate_callbacks=0,
+                 final_allocation=None):
         self.config = config
         self.outcomes = outcomes
         self.interval_series = interval_series
         self.validated = validated
+        self.rate_callbacks = rate_callbacks
+        self.final_allocation = final_allocation or {}
 
     def phase_durations(self):
         """``{phase name: seconds until quiescence}``."""
@@ -110,39 +130,24 @@ class Experiment2Result(object):
 def run_experiment2(config=None, progress=None):
     """Run Experiment 2 and return an :class:`Experiment2Result`."""
     config = config or Experiment2Config()
-    network = config.scenario().build()
-    tracer = PacketTracer(interval=config.interval)
-    protocol = BNeckProtocol(network, tracer=tracer)
-    generator = WorkloadGenerator(network, seed=config.seed)
+    runner = ExperimentRunner(config.spec(), generator_seed=config.seed, progress=progress)
     demand_sampler = uniform_demand(config.demand_low, config.demand_high)
 
-    active_ids = []
-    outcomes = []
-    start_time = 0.0
-    for phase in config.phases():
-        outcome = apply_phase(
-            protocol,
-            generator,
-            phase,
-            active_ids,
-            start_time=start_time,
-            demand_sampler=demand_sampler,
-            run_to_quiescence=True,
-        )
-        removed = set(outcome.left_ids)
-        active_ids = [sid for sid in active_ids if sid not in removed] + outcome.joined_ids
-        outcomes.append(outcome)
-        if progress is not None:
-            progress(outcome)
-        start_time = outcome.quiescence_time + config.inter_phase_gap
+    outcomes = runner.run_phases(
+        config.phases(),
+        demand_sampler=demand_sampler,
+        inter_phase_gap=config.inter_phase_gap,
+    )
 
     validated = True
     if config.validate:
-        validated = validate_against_oracle(protocol).valid
+        validated = runner.validate()
 
     return Experiment2Result(
         config=config,
         outcomes=outcomes,
-        interval_series=tracer.interval_series(),
+        interval_series=runner.tracer.interval_series(),
         validated=validated,
+        rate_callbacks=runner.protocol.rate_callbacks,
+        final_allocation=runner.protocol.notified_allocation().as_dict(),
     )

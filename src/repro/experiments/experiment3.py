@@ -27,9 +27,9 @@ from repro.experiments.metrics import (
     error_summary,
     relative_errors,
 )
+from repro.experiments.runner import ExperimentRunner, ScenarioSpec
 from repro.network.transit_stub import LAN
-from repro.simulator.tracing import PacketTracer
-from repro.workloads.generator import WorkloadGenerator, infinite_demand
+from repro.workloads.generator import infinite_demand
 from repro.workloads.scenarios import NetworkScenario
 
 BNECK = "bneck"
@@ -158,17 +158,25 @@ def _build_protocol(name, network, tracer, config):
 
 def _run_one_protocol(name, config):
     """Run one protocol over the (re-generated, identical) workload."""
-    network = config.scenario().build()
-    tracer = PacketTracer(interval=config.sample_interval)
-    protocol = _build_protocol(name, network, tracer, config)
-    generator = WorkloadGenerator(network, seed=config.seed)
+    spec = ScenarioSpec(
+        size=config.size,
+        delay_model=config.delay_model,
+        seed=config.seed,
+        name=name,
+        tracer_interval=config.sample_interval,
+        protocol_factory=lambda network, tracer: _build_protocol(
+            name, network, tracer, config
+        ),
+    )
+    runner = ExperimentRunner(spec, generator_seed=config.seed)
+    protocol, generator = runner.protocol, runner.generator
 
     specs = generator.generate(
         config.initial_sessions,
         join_window=(0.0, config.churn_window),
         demand_sampler=config.demand_sampler,
     )
-    installed = generator.install(protocol, specs)
+    installed = runner.install(specs)
     join_time_of = {spec.session_id: spec.join_time for spec in specs}
     leavers = generator.pick_sessions(list(installed), config.leave_count)
     for session_id in leavers:
@@ -185,7 +193,7 @@ def _run_one_protocol(name, config):
 
     series = ProtocolTimeSeries(name)
     for sample_time in config.sample_times():
-        protocol.run(until=sample_time)
+        runner.run_until(sample_time)
         assigned = protocol.current_allocation()
         source_errors = relative_errors(assigned, oracle)
         link_errors = bottleneck_link_errors(surviving, assigned, oracle)
@@ -193,8 +201,8 @@ def _run_one_protocol(name, config):
             series.source_error_series.append((sample_time, error_summary(source_errors)))
         if link_errors:
             series.link_error_series.append((sample_time, error_summary(link_errors)))
-    series.packets_series = tracer.totals_per_interval()
-    series.total_packets = tracer.total
+    series.packets_series = runner.tracer.totals_per_interval()
+    series.total_packets = runner.tracer.total
     series.convergence_time = convergence_time(
         series.source_error_series, config.tolerance_percent
     )

@@ -6,15 +6,36 @@ order, which keeps simulation runs fully deterministic for a given workload and
 random seed -- a requirement for the regression tests that compare distributed
 B-Neck against the centralized oracle.
 
-The heap itself stores ``(time, sequence, event)`` tuples rather than the
-:class:`Event` objects: tuple comparisons run entirely in C, so sift-up and
-sift-down never call back into Python on the hot path.  The :class:`Event`
-object is still what callers receive from :meth:`EventQueue.push` and
-:meth:`EventQueue.pop`, and is the handle used for cancellation.
+Heap micro-layout
+-----------------
+
+The heap stores flat ``(time, sequence, callback, tag, event)`` tuples: tuple
+comparisons run entirely in C, so sift-up and sift-down never call back into
+Python on the hot path.  Two entry flavours share that layout:
+
+* **Cancellable entries** (:meth:`EventQueue.push`) additionally allocate an
+  :class:`Event` handle (the fifth tuple slot) that callers use with
+  :meth:`EventQueue.cancel`.
+* **Bare entries** (:meth:`EventQueue.push_callback`) carry ``None`` in the
+  event slot and allocate nothing beyond the tuple.  The vast majority of
+  simulation events are packet deliveries that are never cancelled; storing
+  them bare skips one object allocation (and its GC tracking) per packet.
+
+The simulation loop consumes raw tuples through :meth:`EventQueue.pop_entry`;
+:meth:`EventQueue.pop` keeps the historical Event-returning interface for
+callers that want a handle (synthesizing an already-consumed :class:`Event`
+for bare entries).
 """
 
 import heapq
 import itertools
+
+# Indices into the (time, sequence, callback, tag, event) heap entries.
+ENTRY_TIME = 0
+ENTRY_SEQUENCE = 1
+ENTRY_CALLBACK = 2
+ENTRY_TAG = 3
+ENTRY_EVENT = 4
 
 
 class Event(object):
@@ -67,7 +88,7 @@ class Event(object):
 
 
 class EventQueue(object):
-    """Min-heap of :class:`Event` objects ordered by (time, insertion order)."""
+    """Min-heap of timed callbacks ordered by (time, insertion order)."""
 
     __slots__ = ("_heap", "_counter", "_live")
 
@@ -77,40 +98,80 @@ class EventQueue(object):
         self._live = 0
 
     def push(self, time, callback, tag=None):
-        """Schedule ``callback`` at absolute ``time`` and return the event."""
+        """Schedule ``callback`` at absolute ``time`` and return an :class:`Event`.
+
+        The returned event is the cancellation handle; use
+        :meth:`push_callback` instead when the caller will never cancel.
+        """
         if time < 0:
             raise ValueError("event time must be non-negative, got %r" % time)
         sequence = next(self._counter)
         event = Event(time, sequence, callback, tag=tag)
-        heapq.heappush(self._heap, (time, sequence, event))
+        heapq.heappush(self._heap, (time, sequence, callback, tag, event))
         self._live += 1
         return event
 
-    def pop(self):
-        """Remove and return the earliest non-cancelled event.
+    def push_callback(self, time, callback, tag=None):
+        """Schedule a *non-cancellable* bare callback at absolute ``time``.
 
-        The returned event is marked *consumed*: a later :meth:`cancel` on it
-        is a no-op and does not disturb the live-event count.  Returns ``None``
-        when the queue holds no live events.
+        No :class:`Event` handle is allocated or returned: the entry cannot be
+        cancelled, which is exactly right for the packet-delivery majority of
+        simulation events.  Ordering is identical to :meth:`push` (the same
+        sequence counter is shared), so mixing bare and cancellable entries
+        preserves full (time, sequence) determinism.
+        """
+        if time < 0:
+            raise ValueError("event time must be non-negative, got %r" % time)
+        heapq.heappush(self._heap, (time, next(self._counter), callback, tag, None))
+        self._live += 1
+
+    def pop_entry(self):
+        """Remove and return the earliest live heap entry as a raw tuple.
+
+        The returned tuple is ``(time, sequence, callback, tag, event)`` where
+        ``event`` is ``None`` for bare entries.  Cancellable entries are marked
+        *consumed*: a later :meth:`cancel` on their handle is a no-op and does
+        not disturb the live-event count.  Returns ``None`` when the queue
+        holds no live events.
         """
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)[2]
-            if event.cancelled:
-                continue
-            event.consumed = True
+            entry = heapq.heappop(heap)
+            event = entry[4]
+            if event is not None:
+                if event.cancelled:
+                    continue
+                event.consumed = True
             self._live -= 1
-            return event
+            return entry
         return None
+
+    def pop(self):
+        """Remove and return the earliest live event as an :class:`Event`.
+
+        Compatibility wrapper around :meth:`pop_entry`: bare entries are
+        wrapped in a freshly synthesized, already-consumed :class:`Event` so
+        callers can keep reading ``.time`` / ``.tag`` / ``.callback``.
+        """
+        entry = self.pop_entry()
+        if entry is None:
+            return None
+        event = entry[4]
+        if event is None:
+            event = Event(entry[0], entry[1], entry[2], tag=entry[3])
+            event.consumed = True
+        return event
 
     def peek_time(self):
         """Return the time of the earliest live event, or ``None`` if empty."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
-        if not heap:
-            return None
-        return heap[0][0]
+        while heap:
+            event = heap[0][4]
+            if event is not None and event.cancelled:
+                heapq.heappop(heap)
+                continue
+            return heap[0][0]
+        return None
 
     def cancel(self, event):
         """Cancel a previously scheduled event.
@@ -127,12 +188,15 @@ class EventQueue(object):
     def clear(self):
         """Drop every pending event.
 
-        Dropped events are marked cancelled so a stale handle passed to
-        :meth:`cancel` afterwards stays a no-op instead of corrupting the
-        live-event count.
+        Dropped cancellable events are marked cancelled so a stale handle
+        passed to :meth:`cancel` afterwards stays a no-op instead of
+        corrupting the live-event count.  Bare entries have no handle and are
+        simply discarded.
         """
         for entry in self._heap:
-            entry[2].cancelled = True
+            event = entry[4]
+            if event is not None:
+                event.cancelled = True
         self._heap = []
         self._live = 0
 

@@ -5,13 +5,36 @@ schedule work through :meth:`Simulator.schedule` (relative delay) or
 :meth:`Simulator.schedule_at` (absolute time); each scheduled callback executes
 atomically at its firing time, matching the paper's model of ``when`` blocks
 that are "executed atomically, and activated asynchronously when an event is
-triggered".
+triggered".  :meth:`Simulator.schedule_callback` is the fast path for the
+non-cancellable majority (packet deliveries): it stores a bare callback in the
+heap with no :class:`~repro.simulator.event_queue.Event` handle allocation.
 
 Because B-Neck is *quiescent*, a steady-state simulation terminates on its own:
 once the max-min fair rates are computed, no task schedules further events and
 the queue drains.  :meth:`Simulator.run` therefore runs until the queue is
 empty by default, and the time of the last processed event is the
 time-to-quiescence reported by the experiments.
+
+End-of-instant batching
+-----------------------
+
+All events sharing one timestamp form an *instant*.  Work registered through
+:meth:`Simulator.call_at_instant_end` during an instant is deferred until every
+event of that instant (including events scheduled *for* the instant while it
+runs) has been processed, and executes before the clock advances to the next
+event time.  Deferred callbacks run in registration order, so the mechanism
+preserves the (time, sequence) determinism contract; they may schedule new
+events (same-instant or later) and re-register themselves, in which case the
+flush repeats until the instant is truly exhausted.  The B-Neck protocol layer
+uses this to coalesce ``API.Rate`` notifications: however many rate updates a
+session receives within one instant, its application sees a single batched
+callback carrying the final value (see
+:meth:`repro.core.protocol.BNeckProtocol.notify_rate`).
+
+A run that returns mid-instant (via :meth:`Simulator.stop` or a
+``stop_condition``) leaves the instant incomplete: its deferred callbacks stay
+queued and run when a later ``run`` call finishes the instant.  Runs that end
+because the queue drained or a time horizon was crossed always flush first.
 """
 
 from repro.simulator.errors import SimulationLimitExceeded
@@ -34,6 +57,7 @@ class Simulator(object):
         self._now = 0.0
         self._events_processed = 0
         self._running = False
+        self._instant_callbacks = []
         self.max_events = max_events
         self.max_time = max_time
         self.tracer = tracer
@@ -56,6 +80,15 @@ class Simulator(object):
         """Number of live events still waiting in the queue."""
         return len(self._queue)
 
+    @property
+    def pending_instant_callbacks(self):
+        """Number of end-of-instant callbacks not yet flushed.
+
+        Non-zero only while a run is mid-instant (or after a run was stopped
+        mid-instant); quiescent simulators always report 0.
+        """
+        return len(self._instant_callbacks)
+
     # ------------------------------------------------------------- scheduling
 
     def schedule(self, delay, callback, tag=None):
@@ -72,6 +105,29 @@ class Simulator(object):
             )
         return self._queue.push(time, callback, tag=tag)
 
+    def schedule_callback(self, delay, callback, tag=None):
+        """Schedule a *non-cancellable* callback ``delay`` seconds from now.
+
+        The fast path for the packet-delivery majority: the queue stores the
+        bare callback with no :class:`~repro.simulator.event_queue.Event`
+        handle, so nothing is returned and the entry cannot be cancelled.
+        Ordering is identical to :meth:`schedule`.
+        """
+        if delay < 0:
+            raise ValueError("delay must be non-negative, got %r" % delay)
+        self._queue.push_callback(self._now + delay, callback, tag=tag)
+
+    def call_at_instant_end(self, callback):
+        """Defer ``callback`` to the end of the current instant.
+
+        The callback runs after every event carrying the current timestamp has
+        been processed and before the clock advances (or the run returns, when
+        the queue drains or a horizon is crossed).  Callbacks run in
+        registration order and may register further deferred callbacks or
+        schedule new events.  See the module docstring for the full contract.
+        """
+        self._instant_callbacks.append(callback)
+
     def cancel(self, event):
         """Cancel a previously scheduled event."""
         self._queue.cancel(event)
@@ -82,16 +138,36 @@ class Simulator(object):
 
     # ---------------------------------------------------------------- running
 
+    def _flush_instant(self):
+        """Run one batch of end-of-instant callbacks (registration order)."""
+        callbacks = self._instant_callbacks
+        self._instant_callbacks = []
+        for callback in callbacks:
+            callback()
+
+    def _instant_finished(self):
+        """True when no live event shares the current timestamp."""
+        next_time = self._queue.peek_time()
+        return next_time is None or next_time > self._now
+
     def step(self):
-        """Execute the next pending event.  Returns ``False`` if none remain."""
-        event = self._queue.pop()
-        if event is None:
+        """Execute the next pending unit of work.
+
+        Runs either one batch of end-of-instant callbacks (when the current
+        instant is exhausted) or the next event.  Returns ``False`` only when
+        neither remains.
+        """
+        if self._instant_callbacks and self._instant_finished():
+            self._flush_instant()
+            return True
+        entry = self._queue.pop_entry()
+        if entry is None:
             return False
-        self._now = event.time
+        self._now = entry[0]
         self._events_processed += 1
         if self.tracer is not None:
-            self.tracer.on_event(self._now, event.tag)
-        event.callback()
+            self.tracer.on_event(self._now, entry[3])
+        entry[2]()
         return True
 
     def _unconstrained(self):
@@ -131,6 +207,16 @@ class Simulator(object):
         while True:
             if self._stop_requested:
                 break
+            if self._instant_callbacks and self._instant_finished():
+                # The current instant is exhausted: flush its deferred work
+                # before the clock may advance (or the run return).  The
+                # predicate is re-evaluated right after -- flushed callbacks
+                # (batched API.Rate deliveries) are exactly what stop
+                # conditions tend to watch.
+                self._flush_instant()
+                if stop_condition is not None and stop_condition():
+                    break
+                continue
             next_time = self._queue.peek_time()
             if next_time is None:
                 break
@@ -155,20 +241,25 @@ class Simulator(object):
                 because it never observed the stop flag, and a stale flag
                 from an earlier stopped ``run`` must not end it early.
         """
-        pop = self._queue.pop
+        pop = self._queue.pop_entry
         while not (check_stop and self._stop_requested):
-            event = pop()
-            if event is None:
+            if self._instant_callbacks and self._instant_finished():
+                self._flush_instant()
+                continue
+            entry = pop()
+            if entry is None:
                 break
-            self._now = event.time
+            self._now = entry[0]
             self._events_processed += 1
-            event.callback()
+            entry[2]()
 
     def run_until_quiescent(self):
         """Run until the event queue drains and return the quiescence time.
 
         The returned value is the timestamp of the last processed event, i.e.
         the instant at which the network stopped carrying control traffic.
+        End-of-instant callbacks do not delay the reported time: they execute
+        at the timestamp of the instant they belong to.
         """
         if self._unconstrained():
             self._drain_fast(check_stop=False)
@@ -177,6 +268,9 @@ class Simulator(object):
             return self._now
         last_event_time = self._now
         while True:
+            if self._instant_callbacks and self._instant_finished():
+                self._flush_instant()
+                continue
             next_time = self._queue.peek_time()
             if next_time is None:
                 break

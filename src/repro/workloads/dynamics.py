@@ -60,6 +60,7 @@ class PhaseOutcome(object):
         packets_before,
         packets_after,
         active_after,
+        rate_callbacks=0,
     ):
         self.phase = phase
         self.start_time = start_time
@@ -70,6 +71,7 @@ class PhaseOutcome(object):
         self.packets_before = packets_before
         self.packets_after = packets_after
         self.active_after = active_after
+        self.rate_callbacks = rate_callbacks
 
     @property
     def duration(self):
@@ -129,6 +131,9 @@ def apply_phase(
     active_ids = list(active_ids)
     window = (start_time, start_time + phase.window)
     packets_before = protocol.tracer.total
+    # B-Neck counts delivered application callbacks; baselines have no such
+    # counter and report 0.
+    callbacks_before = getattr(protocol, "rate_callbacks", 0)
 
     left_ids = generator.pick_sessions(active_ids, phase.leaves) if phase.leaves else []
     remaining = [session_id for session_id in active_ids if session_id not in set(left_ids)]
@@ -168,4 +173,5 @@ def apply_phase(
         packets_before=packets_before,
         packets_after=protocol.tracer.total,
         active_after=active_after,
+        rate_callbacks=getattr(protocol, "rate_callbacks", 0) - callbacks_before,
     )

@@ -154,6 +154,92 @@ def test_cancel_before_pop_still_skips_event():
     assert queue.pop() is None
 
 
+def test_push_callback_interleaves_with_events_by_insertion_order():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None, tag="event")
+    queue.push_callback(1.0, lambda: None, tag="bare")
+    queue.push(1.0, lambda: None, tag="event-2")
+    assert [queue.pop().tag for _ in range(3)] == ["event", "bare", "event-2"]
+
+
+def test_push_callback_counts_as_live():
+    queue = EventQueue()
+    queue.push_callback(1.0, lambda: None)
+    assert len(queue) == 1
+    assert queue
+    queue.pop()
+    assert len(queue) == 0
+
+
+def test_push_callback_pop_synthesizes_consumed_event():
+    fired = []
+    queue = EventQueue()
+    queue.push_callback(0.5, lambda: fired.append("ran"), tag="bare")
+    event = queue.pop()
+    assert event.time == 0.5
+    assert event.tag == "bare"
+    assert event.consumed
+    event.callback()
+    assert fired == ["ran"]
+    # The synthesized handle is already consumed: cancel is a no-op.
+    queue.cancel(event)
+    assert len(queue) == 0
+
+
+def test_push_callback_negative_time_rejected():
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.push_callback(-0.5, lambda: None)
+
+
+def test_pop_entry_returns_raw_tuples_for_both_flavours():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None, tag="cancellable")
+    queue.push_callback(2.0, lambda: None, tag="bare")
+    first = queue.pop_entry()
+    assert first[0] == 1.0 and first[3] == "cancellable" and first[4] is handle
+    assert handle.consumed
+    second = queue.pop_entry()
+    assert second[0] == 2.0 and second[3] == "bare" and second[4] is None
+    assert queue.pop_entry() is None
+
+
+def test_cancel_after_pop_with_bare_entries_in_the_heap():
+    # The live count must stay exact when cancellable and bare entries mix
+    # and a handle is cancelled after its event already fired.
+    queue = EventQueue()
+    fired = queue.push(1.0, lambda: None, tag="fired")
+    queue.push_callback(2.0, lambda: None, tag="bare")
+    queue.push(3.0, lambda: None, tag="live")
+    assert queue.pop().tag == "fired"
+    assert len(queue) == 2
+    queue.cancel(fired)      # already consumed: must be a no-op
+    queue.cancel(fired)
+    assert len(queue) == 2
+    assert queue.pop().tag == "bare"
+    assert queue.pop().tag == "live"
+    assert len(queue) == 0
+
+
+def test_peek_time_skips_cancelled_ahead_of_bare_entries():
+    queue = EventQueue()
+    early = queue.push(1.0, lambda: None)
+    queue.push_callback(2.0, lambda: None)
+    queue.cancel(early)
+    assert queue.peek_time() == 2.0
+
+
+def test_clear_discards_bare_entries():
+    queue = EventQueue()
+    queue.push_callback(1.0, lambda: None)
+    stale = queue.push(2.0, lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    queue.cancel(stale)
+    assert len(queue) == 0
+    assert queue.pop() is None
+
+
 def test_many_events_keep_global_order():
     queue = EventQueue()
     times = [5.0, 1.0, 3.0, 2.0, 4.0, 0.5, 2.5]
