@@ -50,7 +50,7 @@ nothing) without affecting protocol behaviour.
 
 import math
 
-from repro.core.api import SessionApplication
+from repro.core.api import RateNotification, SessionApplication
 from repro.core.notifications import make_notification_log
 from repro.core.destination_node import DestinationNodeTask
 from repro.core.router_link import RouterLinkTask
@@ -144,6 +144,44 @@ class BNeckProtocol(object):
         self.rate_callbacks = 0
         self.in_flight_packets = 0
         self._session_counter = 0
+        self._shard_plan = None
+        self._pending_by_shard = None
+        self._fork_baseline = None
+
+    # ------------------------------------------------------------------ sharding
+
+    def use_shard_plan(self, plan):
+        """Partition this protocol's actors across the plan's shards.
+
+        Requires ``simulator`` to be a
+        :class:`~repro.simulator.sharding.ShardedSimulator` and must be called
+        before any session joins.  Every RouterLink task created afterwards is
+        placed on the shard of its link's transmitting router; SourceNode and
+        DestinationNode tasks follow their host's attached router.  Packet
+        sends then resolve local vs. remote: same-shard deliveries take the
+        usual bare-callback fast path, cross-shard deliveries travel as
+        ``(session_id, stage_index, packet)`` descriptors through the
+        engine's epoch-batched mailboxes.
+        """
+        if self._sources or self._router_links:
+            raise RuntimeError("use_shard_plan must be called before sessions join")
+        simulator = self.simulator
+        if not hasattr(simulator, "post_remote"):
+            raise TypeError(
+                "use_shard_plan needs a ShardedSimulator, got %r" % (simulator,)
+            )
+        self._shard_plan = plan
+        self._pending_by_shard = [dict() for _ in range(plan.num_shards)]
+        simulator.remote_handler = self._deliver_remote
+        simulator.before_fork = self._snapshot_fork_baseline
+        simulator.export_state = self._export_shard_state
+        simulator.import_state = self._import_shard_states
+
+    def _deliver_remote(self, descriptor):
+        """Deliver a cross-shard packet descriptor to its target stage."""
+        session_id, stage_index, packet = descriptor
+        self.in_flight_packets -= 1
+        self._wirings[session_id].stages[stage_index].receive(packet, None)
 
     # ------------------------------------------------------------------ sessions
 
@@ -175,6 +213,10 @@ class BNeckProtocol(object):
 
         source = SourceNodeTask(self.simulator, self, session, self.algebra)
         destination = DestinationNodeTask(self.simulator, self, session)
+        plan = self._shard_plan
+        if plan is not None:
+            source.place_on_shard(plan.shard_of(session.source))
+            destination.place_on_shard(plan.shard_of(session.destination))
         self._sources[session.session_id] = source
         self._destinations[session.session_id] = destination
 
@@ -188,7 +230,7 @@ class BNeckProtocol(object):
             self.registry.add(session)
             source.api_join(session.demand)
 
-        self._schedule_api_call(activate, at, "API.Join")
+        self._schedule_api_call(activate, at, "API.Join", shard=source.shard_id)
         return application
 
     def leave(self, session_id, at=None):
@@ -200,7 +242,7 @@ class BNeckProtocol(object):
                 self.registry.remove(session_id)
             source.api_leave()
 
-        self._schedule_api_call(deactivate, at, "API.Leave")
+        self._schedule_api_call(deactivate, at, "API.Leave", shard=source.shard_id)
 
     def change(self, session_id, requested_rate, at=None):
         """``API.Change``: request a new maximum rate, optionally at a future time."""
@@ -211,7 +253,7 @@ class BNeckProtocol(object):
             session.demand = requested_rate
             source.api_change(requested_rate)
 
-        self._schedule_api_call(apply_change, at, "API.Change")
+        self._schedule_api_call(apply_change, at, "API.Change", shard=source.shard_id)
 
     def open_session(self, source_host, destination_host, demand=math.inf, session_id=None, at=None):
         """Create and immediately join a session; returns ``(session, application)``."""
@@ -219,21 +261,29 @@ class BNeckProtocol(object):
         application = self.join(session, at=at)
         return session, application
 
-    def _schedule_api_call(self, callback, at, tag):
+    def _schedule_api_call(self, callback, at, tag, shard=0):
         # Calls with no requested time (or a time already in the past) execute
         # immediately.  A call at exactly ``now`` is *enqueued*, not executed
         # synchronously: it must take its (time, sequence) slot in the event
         # queue so it interleaves deterministically with packet deliveries
-        # scheduled at the same instant.
+        # scheduled at the same instant.  Under a shard plan the call lands on
+        # the lane owning the session's source actor.
         if at is None or at < self.simulator.now:
             callback()
+        elif self._shard_plan is not None:
+            self.simulator.schedule_on(shard, at, callback, tag=tag)
         else:
             self.simulator.schedule_at(at, callback, tag=tag)
 
     def _router_link_for(self, link):
         key = link.endpoints
         if key not in self._router_links:
-            self._router_links[key] = RouterLinkTask(self.simulator, self, link, self.algebra)
+            task = RouterLinkTask(self.simulator, self, link, self.algebra)
+            if self._shard_plan is not None:
+                # The RouterLink actor lives where its link transmits from, so
+                # a hop is cross-shard exactly when the link is a cut edge.
+                task.place_on_shard(self._shard_plan.shard_of(link.source))
+            self._router_links[key] = task
         return self._router_links[key]
 
     # ---------------------------------------------------------------- forwarding
@@ -244,7 +294,7 @@ class BNeckProtocol(object):
         index = wiring.index_by_key[link_id]
         crossing = wiring.links[index]
         target = wiring.stages[index + 1]
-        self._transmit(packet, crossing, target, DOWNSTREAM)
+        self._transmit(packet, crossing, target, DOWNSTREAM, index + 1)
 
     def forward_upstream(self, link_id, packet):
         """Deliver ``packet`` to the previous stage of its session's path."""
@@ -255,7 +305,7 @@ class BNeckProtocol(object):
             return
         crossing = self.network.reverse_link(wiring.links[index - 1])
         target = wiring.stages[index - 1]
-        self._transmit(packet, crossing, target, UPSTREAM)
+        self._transmit(packet, crossing, target, UPSTREAM, index - 1)
 
     # A RouterLink that originates an Update/Bottleneck for *another* session
     # uses the same routing logic: the packet starts at this link's position in
@@ -267,9 +317,9 @@ class BNeckProtocol(object):
         wiring = self._wirings[session_id]
         crossing = self.network.reverse_link(wiring.links[-1])
         target = wiring.stages[-2]
-        self._transmit(packet, crossing, target, UPSTREAM)
+        self._transmit(packet, crossing, target, UPSTREAM, len(wiring.stages) - 2)
 
-    def _transmit(self, packet, link, target, direction):
+    def _transmit(self, packet, link, target, direction, stage_index):
         if self._trace_packets:
             self.tracer.record(
                 self.simulator.now,
@@ -279,6 +329,21 @@ class BNeckProtocol(object):
                 direction=direction,
             )
         self.in_flight_packets += 1
+        simulator = self.simulator
+
+        if self._shard_plan is not None:
+            shard = target.shard_id
+            if shard != simulator.current_shard:
+                # Cross-shard hop: ship a picklable descriptor through the
+                # engine's mailbox; it is delivered at the next epoch barrier
+                # (or pushed directly while the engine is idle).
+                simulator.post_remote(
+                    shard,
+                    link.control_delay(),
+                    (packet.session_id, stage_index, packet),
+                    tag=packet.type_name,
+                )
+                return
 
         def deliver():
             self.in_flight_packets -= 1
@@ -286,7 +351,7 @@ class BNeckProtocol(object):
 
         # Packet deliveries are never cancelled: store the bare callback (no
         # Event handle allocation) on the queue's fast path.
-        self.simulator.schedule_callback(link.control_delay(), deliver, tag=packet.type_name)
+        simulator.schedule_callback(link.control_delay(), deliver, tag=packet.type_name)
 
     # --------------------------------------------------------------- API.Rate
 
@@ -308,7 +373,7 @@ class BNeckProtocol(object):
         notification = self.notification_log.record(time, session_id, rate)
         self._last_rate[session_id] = rate
         if self.batch_notifications:
-            pending = self._pending_rates
+            pending = self._current_pending_rates()
             if not pending:
                 window = self.notification_batch_window
                 if window is None:
@@ -327,6 +392,19 @@ class BNeckProtocol(object):
                 application.deliver_rate(time, rate)
         return notification
 
+    def _current_pending_rates(self):
+        """The pending-rate buffer of the executing shard (or the global one).
+
+        Under a shard plan each lane coalesces its own sessions' rates, so the
+        serial and parallel sharded modes deliver identical batches (a worker
+        process only ever sees its own lane's buffer).
+        """
+        shards = self._pending_by_shard
+        if shards is None:
+            return self._pending_rates
+        shard = self.simulator.current_shard
+        return shards[0 if shard is None else shard]
+
     def _flush_pending_rates(self):
         """End-of-instant hook: deliver one coalesced ``API.Rate`` per session.
 
@@ -334,14 +412,15 @@ class BNeckProtocol(object):
         notified in the order of their *first* rate update within the instant,
         each carrying its *final* rate.
         """
-        pending = self._pending_rates
+        pending = self._current_pending_rates()
         if not pending:
             return
-        self._pending_rates = {}
+        batch = list(pending.items())
+        pending.clear()
         time = self.simulator.now
         applications = self._applications
         delivered = 0
-        for session_id, rate in pending.items():
+        for session_id, rate in batch:
             application = applications.get(session_id)
             if application is not None:
                 delivered += 1
@@ -351,6 +430,180 @@ class BNeckProtocol(object):
     def last_notified_rate(self, session_id):
         """The last rate notified to a session (``None`` before the first)."""
         return self._last_rate.get(session_id)
+
+    # ----------------------------------------------- parallel-run state gather
+    #
+    # A parallel sharded run executes in forked worker processes: each worker
+    # owns the authoritative state of its shard's actors, while the driver's
+    # copy stays frozen at fork time.  The three hooks below (installed on the
+    # engine by :meth:`use_shard_plan`) snapshot counter baselines before the
+    # fork, export each worker's per-session outcome and counter *deltas*, and
+    # fold everything back into the driver so ``current_allocation``,
+    # ``notified_allocation``, validation and packet accounting keep working
+    # transparently after the run.  Per-link ``LinkState`` and per-destination
+    # diagnostic counters are deliberately not gathered (nothing downstream of
+    # a finished run reads them; parallel runs are one-shot).
+
+    def _snapshot_fork_baseline(self):
+        tracer = self.tracer
+        self._fork_baseline = {
+            "rate_callbacks": self.rate_callbacks,
+            "in_flight": self.in_flight_packets,
+            "log_recorded": self.notification_log.recorded,
+            "tracer_total": getattr(tracer, "total", 0),
+            "tracer_records": len(getattr(tracer, "records", ())),
+            "tracer_by_type": dict(getattr(tracer, "by_type", {})),
+            "tracer_by_session": dict(getattr(tracer, "by_session", {})),
+            "tracer_intervals": {
+                bucket: dict(counts)
+                for bucket, counts in getattr(tracer, "_interval_counts", {}).items()
+            },
+        }
+
+    def _export_shard_state(self, shard_index):
+        baseline = self._fork_baseline
+        sessions = {}
+        for session_id, source in self._sources.items():
+            if source.shard_id != shard_index:
+                continue
+            application = self._applications.get(session_id)
+            state = source.state
+            sessions[session_id] = {
+                "active": session_id in self.registry,
+                "rate": state.rate_of(session_id),
+                "mu": state.state_of(session_id),
+                "demand": self._sessions[session_id].demand,
+                "source_demand": source.demand,
+                "left": source.left,
+                "update_received": source.update_received,
+                "bottleneck_received": source.bottleneck_received,
+                "last_rate": self._last_rate.get(session_id),
+                "app_notifications": (
+                    [(n.time, n.rate) for n in application.notifications]
+                    if application is not None
+                    else None
+                ),
+            }
+        # Records produced during the run are the newest `new_count` retained
+        # entries (counting from `recorded`, not positions: a ring log may
+        # have evicted pre-fork records, so positional slicing would be off).
+        log = self.notification_log
+        new_count = log.recorded - baseline["log_recorded"]
+        retained = list(log)
+        log_delta = [
+            (record.time, record.session_id, record.rate)
+            for record in retained[max(0, len(retained) - new_count):]
+        ] if new_count > 0 else []
+        tracer = self.tracer
+        blob = {
+            "sessions": sessions,
+            "rate_callbacks": self.rate_callbacks - baseline["rate_callbacks"],
+            "in_flight": self.in_flight_packets - baseline["in_flight"],
+            "log_recorded": log.recorded - baseline["log_recorded"],
+            "log_delta": log_delta,
+            "tracer": None,
+        }
+        if getattr(tracer, "enabled", False):
+            by_type = {
+                key: count - baseline["tracer_by_type"].get(key, 0)
+                for key, count in tracer.by_type.items()
+            }
+            by_session = {
+                key: count - baseline["tracer_by_session"].get(key, 0)
+                for key, count in tracer.by_session.items()
+            }
+            blob["tracer"] = {
+                "total": tracer.total - baseline["tracer_total"],
+                "by_type": {k: v for k, v in by_type.items() if v},
+                "by_session": {k: v for k, v in by_session.items() if v},
+                "last_packet_time": tracer.last_packet_time,
+                "records": list(tracer.records[baseline["tracer_records"]:]),
+                "intervals": (
+                    {
+                        bucket: {
+                            key: count
+                            - baseline["tracer_intervals"].get(bucket, {}).get(key, 0)
+                            for key, count in counts.items()
+                        }
+                        for bucket, counts in tracer._interval_counts.items()
+                    }
+                    if getattr(tracer, "interval", None) is not None
+                    else None
+                ),
+            }
+        return blob
+
+    def _import_shard_states(self, blobs):
+        for blob in blobs:
+            for session_id, info in blob["sessions"].items():
+                source = self._sources[session_id]
+                session = self._sessions[session_id]
+                session.demand = info["demand"]
+                source.demand = info["source_demand"]
+                source.left = info["left"]
+                source.update_received = info["update_received"]
+                source.bottleneck_received = info["bottleneck_received"]
+                if info["left"]:
+                    source.state.forget(session_id)
+                else:
+                    if info["rate"] is not None:
+                        source.state.set_rate(session_id, info["rate"])
+                    source.state.set_state(session_id, info["mu"])
+                if info["active"]:
+                    if session_id not in self.registry:
+                        self.registry.add(session)
+                elif session_id in self.registry:
+                    self.registry.remove(session_id)
+                if info["last_rate"] is not None:
+                    self._last_rate[session_id] = info["last_rate"]
+                application = self._applications.get(session_id)
+                if application is not None and info["app_notifications"]:
+                    application.notifications = [
+                        RateNotification(time, session_id, rate)
+                        for time, rate in info["app_notifications"]
+                    ]
+            self.rate_callbacks += blob["rate_callbacks"]
+            self.in_flight_packets += blob["in_flight"]
+        # Merge the retained notification records, globally time-ordered
+        # (stable sort keeps lane order on ties, matching the serial barrier).
+        merged = sorted(
+            (entry for blob in blobs for entry in blob["log_delta"]),
+            key=lambda entry: entry[0],
+        )
+        recorded_delta = sum(blob["log_recorded"] for blob in blobs)
+        for time, session_id, rate in merged:
+            self.notification_log.record(time, session_id, rate)
+            recorded_delta -= 1
+        if recorded_delta > 0 and hasattr(self.notification_log, "_recorded"):
+            # Logs that retain nothing (null) still count invocations.
+            self.notification_log._recorded += recorded_delta
+        self._merge_tracer_deltas([blob["tracer"] for blob in blobs])
+
+    def _merge_tracer_deltas(self, deltas):
+        tracer = self.tracer
+        if not getattr(tracer, "enabled", False):
+            return
+        records = []
+        for delta in deltas:
+            if delta is None:
+                continue
+            tracer.total += delta["total"]
+            for key, count in delta["by_type"].items():
+                tracer.by_type[key] += count
+            for key, count in delta["by_session"].items():
+                tracer.by_session[key] += count
+            tracer.last_packet_time = max(
+                tracer.last_packet_time, delta["last_packet_time"]
+            )
+            records.extend(delta["records"])
+            if delta["intervals"] is not None:
+                for bucket, counts in delta["intervals"].items():
+                    for key, count in counts.items():
+                        if count:
+                            tracer._interval_counts[bucket][key] += count
+        if records:
+            records.sort(key=lambda record: record.time)
+            tracer.records.extend(records)
 
     # -------------------------------------------------------------- inspection
 

@@ -25,7 +25,9 @@ workloads this way).
 
 from repro.core.protocol import BNeckProtocol
 from repro.core.validation import validate_against_oracle
+from repro.network.partition import partition_network
 from repro.network.transit_stub import LAN
+from repro.simulator.sharding import SEQUENTIAL, ShardedSimulator, parse_engine
 from repro.simulator.tracing import NullPacketTracer, PacketTracer
 from repro.workloads.dynamics import apply_phase
 from repro.workloads.generator import WorkloadGenerator
@@ -61,6 +63,14 @@ class ScenarioSpec(object):
         routing_metric: ``"hops"`` (paper default) or ``"delay"``.
         validate: whether :meth:`ExperimentRunner.checkpoint` validates
             against the centralized oracle.
+        engine: execution engine -- ``"sequential"`` (default, the
+            single-queue :class:`~repro.simulator.simulation.Simulator`),
+            ``"sharded:K"`` (K event-queue shards advancing in lockstep
+            epochs, deterministic and bit-identical in final allocations to
+            sequential), or ``"sharded:K/parallel"`` (one worker process per
+            shard; one-shot runs only -- schedule the whole workload, then a
+            single run to quiescence).  Incompatible with
+            ``protocol_factory``.
     """
 
     def __init__(
@@ -79,9 +89,20 @@ class ScenarioSpec(object):
         notification_batch_window=None,
         routing_metric="hops",
         validate=True,
+        engine=SEQUENTIAL,
     ):
         if network is None and network_builder is None and size is None:
             raise ValueError("need a network, a network_builder or a named size")
+        engine_kind, engine_shards, engine_parallel = parse_engine(engine)
+        if engine_kind != SEQUENTIAL and protocol_factory is not None:
+            raise ValueError(
+                "engine=%r cannot be combined with protocol_factory (the "
+                "factory owns simulator construction)" % (engine,)
+            )
+        self.engine = engine if engine is not None else SEQUENTIAL
+        self.engine_kind = engine_kind
+        self.engine_shards = engine_shards
+        self.engine_parallel = engine_parallel
         self.size = size
         self.delay_model = delay_model
         self.seed = seed
@@ -140,21 +161,33 @@ class ScenarioSpec(object):
     def build_protocol(self, network, tracer):
         if self.protocol_factory is not None:
             return self.protocol_factory(network, tracer)
-        return BNeckProtocol(
+        simulator = None
+        plan = None
+        if self.engine_kind != SEQUENTIAL:
+            plan = partition_network(network, self.engine_shards)
+            simulator = ShardedSimulator(
+                plan, parallel=self.engine_parallel, seed=self.seed
+            )
+        protocol = BNeckProtocol(
             network,
+            simulator=simulator,
             tracer=tracer,
             routing_metric=self.routing_metric,
             notification_log=self.notification_log,
             batch_notifications=self.batch_notifications,
             notification_batch_window=self.notification_batch_window,
         )
+        if plan is not None:
+            protocol.use_shard_plan(plan)
+        return protocol
 
     def __repr__(self):
-        return "ScenarioSpec(%r, seed=%d, log=%r, batch=%r)" % (
+        return "ScenarioSpec(%r, seed=%d, log=%r, batch=%r, engine=%r)" % (
             self.label,
             self.seed,
             self.notification_log,
             self.batch_notifications,
+            self.engine,
         )
 
 

@@ -65,7 +65,7 @@ def water_filling(sessions, algebra=None):
     #   noise, orders of magnitude below the algebra's tolerance.
     active_counts = {ep: len(members) for ep, members in link_members.items()}
     loads = {ep: 0 for ep in link_members}
-    path_keys = {s.session_id: [l.endpoints for l in s.links] for s in sessions}
+    path_keys = {s.session_id: [link.endpoints for link in s.links] for s in sessions}
     demands = {s.session_id: s.effective_demand() for s in sessions}
 
     def freeze(session_id):

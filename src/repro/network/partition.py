@@ -1,0 +1,177 @@
+"""Topology-aware partitioning of a network into shards.
+
+The sharded execution engine (:mod:`repro.simulator.sharding`) assigns every
+protocol actor -- RouterLink, SourceNode, DestinationNode -- to one of ``K``
+shards and only synchronizes the shards at epoch boundaries.  Its epoch width
+(the *lookahead*) is the smallest control delay of any link whose endpoints
+live on different shards, so a good partition is one whose cut edges are few
+and slow.
+
+Transit-stub topologies (the paper's evaluation networks) have exactly the
+structure we want: every stub domain hangs off a single sponsoring transit
+router, and only transit-to-transit links connect the sponsors.  The
+partitioner therefore builds one *cluster* per transit router -- the router
+plus every stub domain it sponsors -- and distributes whole clusters over the
+shards (largest first, onto the currently lightest shard).  Cut edges are then
+transit-to-transit links only.  Networks without a transit tier (the teaching
+topologies) degrade gracefully: every router becomes its own cluster.
+
+Hosts are attached to stub routers *after* the partition is computed (the
+workload generator creates one source and one destination host per session),
+so :meth:`ShardPlan.shard_of` resolves host ids lazily through the host's
+``attached_router`` and caches the answer.  Host access links can therefore
+never be cut edges, and attaching hosts never changes the lookahead.
+"""
+
+import math
+
+TRANSIT_TIER = "transit"
+
+
+class ShardPlan(object):
+    """The result of partitioning: node -> shard, cut links, and lookahead.
+
+    Attributes:
+        network: the partitioned :class:`~repro.network.graph.Network`.
+        num_shards: number of shards the plan distributes routers over.
+        cut_links: directed links whose endpoints live on different shards.
+        lookahead: the smallest :meth:`~repro.network.graph.Link.control_delay`
+            among the cut links (``math.inf`` when nothing is cut, e.g. with a
+            single shard) -- the safe epoch width of the sharded engine.
+    """
+
+    def __init__(self, network, shard_of_router, num_shards):
+        self.network = network
+        self.num_shards = num_shards
+        self._shard_of = dict(shard_of_router)
+        self.cut_links = [
+            link
+            for link in network.links()
+            if self._shard_of.get(link.source) is not None
+            and self._shard_of.get(link.target) is not None
+            and self._shard_of[link.source] != self._shard_of[link.target]
+        ]
+        self.lookahead = min(
+            (link.control_delay() for link in self.cut_links), default=math.inf
+        )
+
+    def shard_of(self, node_id):
+        """The shard of a node; hosts inherit their attached router's shard."""
+        shard = self._shard_of.get(node_id)
+        if shard is None:
+            node = self.network.node(node_id)
+            attached = node.attached_router
+            if attached is None:
+                raise KeyError(
+                    "node %r is not covered by the shard plan and has no "
+                    "attached router" % (node_id,)
+                )
+            shard = self.shard_of(attached)
+            self._shard_of[node_id] = shard
+        return shard
+
+    def shard_sizes(self):
+        """Routers per shard, as a list indexed by shard."""
+        sizes = [0] * self.num_shards
+        for node_id, shard in self._shard_of.items():
+            if self.network.node(node_id).is_router:
+                sizes[shard] += 1
+        return sizes
+
+    def __repr__(self):
+        return "ShardPlan(shards=%d, sizes=%r, cut_links=%d, lookahead=%.3g)" % (
+            self.num_shards,
+            self.shard_sizes(),
+            len(self.cut_links),
+            self.lookahead,
+        )
+
+
+def _router_clusters(network):
+    """Group routers into clusters that should never be split across shards.
+
+    Transit-stub networks produce one cluster per transit router (the router
+    plus the stub domains it sponsors); other networks produce one cluster per
+    router.  Clusters are returned in deterministic (insertion) order.
+    """
+    routers = network.routers()
+    transit_ids = [node.node_id for node in routers if node.tier == TRANSIT_TIER]
+    if not transit_ids:
+        return [[node.node_id] for node in routers]
+    transit_set = set(transit_ids)
+
+    # Connected components of the graph restricted to non-transit routers:
+    # each one is a stub domain (the generator connects a domain internally
+    # and links its gateway to exactly one transit router).
+    stub_ids = [node.node_id for node in routers if node.node_id not in transit_set]
+    component_of = {}
+    components = []
+    for stub_id in stub_ids:
+        if stub_id in component_of:
+            continue
+        members = []
+        frontier = [stub_id]
+        component_of[stub_id] = len(components)
+        while frontier:
+            current = frontier.pop()
+            members.append(current)
+            for neighbor in network.neighbors(current):
+                if (
+                    neighbor in component_of
+                    or neighbor in transit_set
+                    or not network.node(neighbor).is_router
+                ):
+                    continue
+                component_of[neighbor] = len(components)
+                frontier.append(neighbor)
+        components.append(members)
+
+    # Anchor each stub component at its sponsoring transit router (the
+    # smallest-id transit neighbor, should a topology ever have several).
+    clusters = {transit_id: [transit_id] for transit_id in transit_ids}
+    orphans = []
+    for members in components:
+        sponsors = sorted(
+            neighbor
+            for member in members
+            for neighbor in network.neighbors(member)
+            if neighbor in transit_set
+        )
+        if sponsors:
+            clusters[sponsors[0]].extend(members)
+        else:
+            orphans.append(members)
+    ordered = [clusters[transit_id] for transit_id in transit_ids]
+    ordered.extend(orphans)
+    return ordered
+
+
+def partition_network(network, num_shards):
+    """Partition a network's routers into ``num_shards`` shards.
+
+    Whole clusters (transit router + sponsored stub domains, see module
+    docstring) are placed largest-first onto the currently lightest shard, so
+    shard sizes stay balanced without ever cutting a stub domain in half.
+    The assignment is fully deterministic for a given network.
+
+    Returns:
+        A :class:`ShardPlan`.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1, got %r" % (num_shards,))
+    clusters = _router_clusters(network)
+    shard_of_router = {}
+    if num_shards == 1:
+        for members in clusters:
+            for node_id in members:
+                shard_of_router[node_id] = 0
+        return ShardPlan(network, shard_of_router, 1)
+
+    order = sorted(range(len(clusters)), key=lambda i: (-len(clusters[i]), i))
+    loads = [0] * num_shards
+    for index in order:
+        shard = loads.index(min(loads))
+        for node_id in clusters[index]:
+            shard_of_router[node_id] = shard
+        loads[shard] += len(clusters[index])
+    return ShardPlan(network, shard_of_router, num_shards)

@@ -35,6 +35,7 @@ from repro.simulator.errors import (
 from repro.simulator.event_queue import Event, EventQueue
 from repro.simulator.process import Process
 from repro.simulator.random_source import RandomSource
+from repro.simulator.sharding import ShardedSimulator, ShardLane, parse_engine
 from repro.simulator.simulation import Simulator
 from repro.simulator.statistics import (
     Histogram,
@@ -63,6 +64,8 @@ __all__ = [
     "Process",
     "RandomSource",
     "SECOND",
+    "ShardLane",
+    "ShardedSimulator",
     "SimulationError",
     "SimulationLimitExceeded",
     "SimulationNotRunning",
@@ -74,6 +77,7 @@ __all__ = [
     "format_time",
     "microseconds",
     "milliseconds",
+    "parse_engine",
     "percentile",
     "seconds",
     "summarize",

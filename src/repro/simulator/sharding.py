@@ -1,0 +1,604 @@
+"""A sharded, multi-lane discrete-event engine with epoch-batched messaging.
+
+:class:`ShardedSimulator` partitions the protocol's actors across ``K``
+*lanes* -- one per shard -- each with its own
+:class:`~repro.simulator.event_queue.EventQueue`, clock cursor and forked
+:class:`~repro.simulator.random_source.RandomSource`.  The lanes advance in
+lockstep *epochs*:
+
+1. every cross-shard message produced during the previous epoch is delivered
+   into its target lane's queue (the *mailbox barrier*);
+2. the epoch end is computed as ``t_min + lookahead``, where ``t_min`` is the
+   earliest pending event across all lanes and ``lookahead`` is the smallest
+   control delay of any cut link (see
+   :func:`repro.network.partition.partition_network`);
+3. every lane independently drains its events with ``time < epoch_end``,
+   buffering cross-shard sends in per-target outboxes.
+
+Because a cross-shard message sent at time ``t`` is delivered no earlier than
+``t + lookahead >= epoch_end`` (float addition is monotone, so the bound holds
+bit-exactly), no lane can receive a message in its own past: the conservative
+null-message-free synchronization of classic parallel discrete-event
+simulation.  Within a lane the full ``(time, sequence)`` determinism contract
+of :class:`~repro.simulator.event_queue.EventQueue` holds, and the mailbox
+barrier inserts deliveries in a fixed order (by source lane, then send order),
+so an entire sharded run is deterministic for a given seed and shard count.
+
+Two execution modes share the exact same epoch schedule, drain loop and
+mailbox ordering, and therefore produce bit-identical runs:
+
+* **serial** (default): one process executes the lanes round-robin inside
+  each epoch.  This mode supports everything the single-queue
+  :class:`~repro.simulator.simulation.Simulator` supports (horizons, stop
+  conditions, limits, tracers, multi-phase workloads) and is what the
+  cross-engine determinism tests pin down.
+* **parallel** (``parallel=True``, POSIX only): the engine forks one worker
+  process per lane; each worker executes only its own lane and ships its
+  outboxes back through a pipe at every epoch barrier.  The run is one-shot:
+  everything must be scheduled before ``run_until_quiescent`` is called, and
+  afterwards the driver's protocol state is refreshed through the
+  export/import hooks (see below) so allocations, packet counts and
+  validation keep working.  This is the multi-core path for paper-scale
+  topologies.
+
+The engine is protocol-agnostic: cross-shard payloads are opaque picklable
+*descriptors* handed to ``remote_handler`` at delivery time, and the parallel
+mode's state refresh goes through three optional hooks (``before_fork``,
+``export_state``, ``import_state``) that
+:meth:`repro.core.protocol.BNeckProtocol.use_shard_plan` wires up.
+"""
+
+import os
+import traceback
+from functools import partial
+
+from repro.simulator.errors import SimulationLimitExceeded
+from repro.simulator.event_queue import EventQueue
+from repro.simulator.random_source import RandomSource
+
+SEQUENTIAL = "sequential"
+SHARDED = "sharded"
+DEFAULT_SHARDS = 4
+
+
+def parse_engine(engine):
+    """Parse an engine knob into ``(kind, shards, parallel)``.
+
+    Accepted values: ``"sequential"``, ``"sharded"`` (4 shards),
+    ``"sharded:K"``, and ``"sharded:K/parallel"`` (fork one worker process
+    per shard; falls back to the serial sharded mode where ``os.fork`` is
+    unavailable).
+    """
+    if engine is None or engine == SEQUENTIAL:
+        return (SEQUENTIAL, 1, False)
+    head, _, tail = engine.partition(":")
+    if head != SHARDED:
+        raise ValueError(
+            "unknown engine %r (expected %r, %r or 'sharded:K[/parallel]')"
+            % (engine, SEQUENTIAL, SHARDED)
+        )
+    parallel = False
+    if tail.endswith("/parallel"):
+        parallel = True
+        tail = tail[: -len("/parallel")]
+    shards = DEFAULT_SHARDS
+    if tail:
+        try:
+            shards = int(tail)
+        except ValueError:
+            raise ValueError("bad shard count in engine %r" % (engine,))
+    if shards < 1:
+        raise ValueError("engine %r needs at least one shard" % (engine,))
+    return (SHARDED, shards, parallel)
+
+
+class ShardLane(object):
+    """One shard's execution state: queue, clock cursor and random stream."""
+
+    __slots__ = (
+        "index",
+        "queue",
+        "cursor",
+        "last_event_time",
+        "events_processed",
+        "instant_callbacks",
+        "random",
+    )
+
+    def __init__(self, index, random_source):
+        self.index = index
+        self.queue = EventQueue()
+        self.cursor = 0.0
+        self.last_event_time = 0.0
+        self.events_processed = 0
+        self.instant_callbacks = []
+        self.random = random_source
+
+    def __repr__(self):
+        return "ShardLane(%d, pending=%d, cursor=%r)" % (
+            self.index,
+            len(self.queue),
+            self.cursor,
+        )
+
+
+class ShardedSimulator(object):
+    """Drop-in simulation engine executing K event-queue shards in lockstep.
+
+    Args:
+        plan: a :class:`~repro.network.partition.ShardPlan` (provides the
+            shard count and the lookahead).
+        lookahead: optional epoch-width override in seconds; defaults to the
+            plan's cut-link lookahead.  Must not exceed it.
+        parallel: execute lanes in forked worker processes (one-shot runs
+            only; POSIX only, silently falls back to serial elsewhere).
+        seed: base seed for the per-lane forked random streams.
+        max_events / max_time: safety caps, as on
+            :class:`~repro.simulator.simulation.Simulator` (serial mode only
+            for parallel runs they must be unset).
+        tracer: optional per-event tracer hook (serial mode only).
+    """
+
+    def __init__(self, plan, lookahead=None, parallel=False, seed=0,
+                 max_events=None, max_time=None, tracer=None):
+        if lookahead is not None:
+            if lookahead <= 0:
+                raise ValueError("lookahead must be positive, got %r" % (lookahead,))
+            if lookahead > plan.lookahead:
+                raise ValueError(
+                    "lookahead %r exceeds the plan's safe bound %r"
+                    % (lookahead, plan.lookahead)
+                )
+        self.plan = plan
+        self.num_shards = plan.num_shards
+        self.lookahead = plan.lookahead if lookahead is None else lookahead
+        self.parallel = bool(parallel)
+        base = RandomSource(seed)
+        self.lanes = [
+            ShardLane(index, base.fork("shard-%d" % index))
+            for index in range(self.num_shards)
+        ]
+        self._outboxes = [[] for _ in range(self.num_shards)]
+        self._current = None
+        self._idle_now = 0.0
+        self._events_total = 0
+        self._stop_requested = False
+        self._parallel_done = False
+        self.max_events = max_events
+        self.max_time = max_time
+        self.tracer = tracer
+        # Protocol-provided hooks.
+        self.remote_handler = None   # descriptor -> None, delivers a message
+        self.before_fork = None      # () -> None, snapshot counter baselines
+        self.export_state = None     # shard_index -> picklable blob
+        self.import_state = None     # [blob, ...] -> None, refresh the driver
+
+    # ------------------------------------------------------------------ clock
+
+    @property
+    def now(self):
+        """The executing lane's cursor, or the engine's idle clock."""
+        lane = self._current
+        return self._idle_now if lane is None else lane.cursor
+
+    @property
+    def current_shard(self):
+        """Index of the lane currently executing events (``None`` when idle)."""
+        lane = self._current
+        return None if lane is None else lane.index
+
+    @property
+    def events_processed(self):
+        return self._events_total
+
+    @property
+    def pending_events(self):
+        queued = sum(len(lane.queue) for lane in self.lanes)
+        return queued + sum(len(outbox) for outbox in self._outboxes)
+
+    @property
+    def pending_instant_callbacks(self):
+        return sum(len(lane.instant_callbacks) for lane in self.lanes)
+
+    # ------------------------------------------------------------- scheduling
+
+    def _scheduling_lane(self):
+        lane = self._current
+        return self.lanes[0] if lane is None else lane
+
+    def schedule(self, delay, callback, tag=None):
+        """Schedule on the executing lane (lane 0 when idle), after ``delay``."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative, got %r" % delay)
+        lane = self._scheduling_lane()
+        return lane.queue.push(self.now + delay, callback, tag=tag)
+
+    def schedule_at(self, time, callback, tag=None):
+        """Schedule at an absolute time on the executing lane (lane 0 when idle)."""
+        if time < self.now:
+            raise ValueError(
+                "cannot schedule in the past (now=%r, requested=%r)" % (self.now, time)
+            )
+        lane = self._scheduling_lane()
+        return lane.queue.push(time, callback, tag=tag)
+
+    def schedule_callback(self, delay, callback, tag=None):
+        """Bare non-cancellable callback on the executing lane (fast path)."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative, got %r" % delay)
+        lane = self._scheduling_lane()
+        lane.queue.push_callback(self.now + delay, callback, tag=tag)
+
+    def schedule_on(self, shard, time, callback, tag=None):
+        """Schedule at an absolute time on an explicit shard's lane.
+
+        This is how API calls (Join/Leave/Change) are placed on the lane that
+        owns the session's source actor.  Cross-lane scheduling is only legal
+        while the engine is idle (between runs): a running lane owns only its
+        own queue, so mid-run cross-shard work must travel through
+        :meth:`post_remote` mailboxes instead.
+        """
+        if time < self.now:
+            raise ValueError(
+                "cannot schedule in the past (now=%r, requested=%r)" % (self.now, time)
+            )
+        lane = self._current
+        if lane is not None and lane.index != shard:
+            raise RuntimeError(
+                "cannot schedule on shard %d while shard %d is executing; "
+                "use post_remote for cross-shard work" % (shard, lane.index)
+            )
+        return self.lanes[shard].queue.push(time, callback, tag=tag)
+
+    def post_remote(self, shard, delay, descriptor, tag=None):
+        """Buffer a cross-shard delivery for the next epoch barrier.
+
+        ``descriptor`` is an opaque (picklable, in parallel mode) payload that
+        ``remote_handler`` turns back into a delivery at the target lane.
+        While the engine is idle the delivery is pushed straight onto the
+        target lane (installation-time sends need no barrier).
+        """
+        if delay < 0:
+            raise ValueError("delay must be non-negative, got %r" % delay)
+        handler = self.remote_handler
+        if handler is None:
+            raise RuntimeError("post_remote needs a remote_handler installed")
+        lane = self._current
+        if lane is None or lane.index == shard:
+            queue = self.lanes[shard].queue
+            queue.push_callback(self.now + delay, partial(handler, descriptor), tag=tag)
+            return
+        self._outboxes[shard].append((lane.cursor + delay, descriptor, tag))
+
+    def call_at_instant_end(self, callback):
+        """Defer ``callback`` to the end of the executing lane's instant."""
+        self._scheduling_lane().instant_callbacks.append(callback)
+
+    def cancel(self, event):
+        """Cancel a previously scheduled event.
+
+        The owning lane is found by scanning (cancellation is not on any
+        sharded hot path: packet deliveries are bare callbacks and API calls
+        are never revoked).
+        """
+        if event.cancelled or event.consumed:
+            return
+        for lane in self.lanes:
+            for entry in lane.queue._heap:
+                if entry[4] is event:
+                    lane.queue.cancel(event)
+                    return
+        event.cancelled = True
+
+    def stop(self):
+        """Request that the current run returns before the next event."""
+        self._stop_requested = True
+
+    # ---------------------------------------------------------------- running
+
+    def _deliver_outboxes(self):
+        """The mailbox barrier: move buffered sends into their target queues.
+
+        Entries are inserted per target lane in source-lane order, then send
+        order -- the exact order the parallel driver concatenates worker
+        outboxes in, which is what keeps the two modes bit-identical.
+        """
+        handler = self.remote_handler
+        for target, entries in enumerate(self._outboxes):
+            if not entries:
+                continue
+            queue = self.lanes[target].queue
+            for time, descriptor, tag in entries:
+                queue.push_callback(time, partial(handler, descriptor), tag=tag)
+            self._outboxes[target] = []
+
+    def _flush_lane_instant(self, lane):
+        callbacks = lane.instant_callbacks
+        lane.instant_callbacks = []
+        for callback in callbacks:
+            callback()
+
+    def _check_limits(self, next_time):
+        if self.max_events is not None and self._events_total >= self.max_events:
+            raise SimulationLimitExceeded(
+                "event limit of %d exceeded at t=%r (possible livelock)"
+                % (self.max_events, self.now),
+                events_processed=self._events_total,
+                current_time=self.now,
+            )
+        if self.max_time is not None and next_time > self.max_time:
+            raise SimulationLimitExceeded(
+                "time limit of %r exceeded (next event at %r)"
+                % (self.max_time, next_time),
+                events_processed=self._events_total,
+                current_time=self.now,
+            )
+
+    def _drain_lane(self, lane, exclusive_end, inclusive_cap, stop_condition):
+        """Drain one lane's events up to the epoch boundary.
+
+        Processes events with ``time < exclusive_end`` (and ``time <=
+        inclusive_cap`` when a horizon applies), flushing end-of-instant
+        callbacks exactly as the sequential engine does.  The trailing flush
+        at the boundary is safe: all future deliveries into this lane land at
+        ``>= exclusive_end``, strictly after the lane's cursor, so the current
+        instant can never reopen.
+        """
+        queue = lane.queue
+        constrained = self.max_events is not None or self.max_time is not None
+        tracer = self.tracer
+        self._current = lane
+        try:
+            while True:
+                if self._stop_requested:
+                    return
+                if lane.instant_callbacks:
+                    next_time = queue.peek_time()
+                    if next_time is None or next_time > lane.cursor:
+                        self._flush_lane_instant(lane)
+                        if stop_condition is not None and stop_condition():
+                            self._stop_requested = True
+                            return
+                        continue
+                next_time = queue.peek_time()
+                if next_time is None:
+                    return
+                if next_time >= exclusive_end:
+                    return
+                if inclusive_cap is not None and next_time > inclusive_cap:
+                    return
+                if constrained:
+                    self._check_limits(next_time)
+                entry = queue.pop_entry()
+                lane.cursor = entry[0]
+                lane.last_event_time = entry[0]
+                lane.events_processed += 1
+                self._events_total += 1
+                if tracer is not None:
+                    tracer.on_event(entry[0], entry[3])
+                entry[2]()
+                if stop_condition is not None and stop_condition():
+                    self._stop_requested = True
+                    return
+        finally:
+            if not self._stop_requested:
+                while lane.instant_callbacks:
+                    next_time = queue.peek_time()
+                    if next_time is not None and next_time <= lane.cursor:
+                        break
+                    self._flush_lane_instant(lane)
+            self._current = None
+
+    def _run_serial(self, until, stop_condition):
+        lanes = self.lanes
+        lookahead = self.lookahead
+        while not self._stop_requested:
+            self._deliver_outboxes()
+            t_min = None
+            for lane in lanes:
+                t = lane.queue.peek_time()
+                if t is not None and (t_min is None or t < t_min):
+                    t_min = t
+            if t_min is None:
+                break
+            if until is not None and t_min > until:
+                break
+            epoch_end = t_min + lookahead
+            for lane in lanes:
+                self._drain_lane(lane, epoch_end, until, stop_condition)
+                if self._stop_requested:
+                    break
+
+    def _ensure_runnable(self):
+        if self._parallel_done:
+            raise RuntimeError(
+                "this ShardedSimulator already completed a parallel run; "
+                "parallel sharded runs are one-shot (build a fresh engine)"
+            )
+
+    def run(self, until=None, stop_condition=None):
+        """Run the sharded simulation (serial lockstep; see class docstring).
+
+        Semantics mirror :meth:`repro.simulator.simulation.Simulator.run`:
+        events up to and including ``until`` are processed, and the clock is
+        left at ``until`` when a horizon is given and the run was not stopped.
+        """
+        self._ensure_runnable()
+        self._stop_requested = False
+        self._run_serial(until, stop_condition)
+        last = max(lane.last_event_time for lane in self.lanes)
+        self._idle_now = max(self._idle_now, last)
+        if until is not None and not self._stop_requested:
+            self._idle_now = max(self._idle_now, until)
+        return self._idle_now
+
+    def run_until_quiescent(self):
+        """Run until every lane's queue drains; returns the quiescence time.
+
+        In parallel mode this forks one worker per lane (one-shot; see the
+        class docstring), falling back to the bit-identical serial schedule
+        when forking is unavailable.
+        """
+        self._ensure_runnable()
+        # A stale stop() from an earlier interrupted run must not end this
+        # drain early (matching Simulator.run_until_quiescent).
+        self._stop_requested = False
+        if self.parallel and self.num_shards > 1 and hasattr(os, "fork"):
+            return self._run_parallel()
+        self._run_serial(None, None)
+        last = max(lane.last_event_time for lane in self.lanes)
+        self._idle_now = max(self._idle_now, last)
+        return self._idle_now
+
+    # ------------------------------------------------------- parallel (fork)
+
+    def _run_parallel(self):
+        if self.remote_handler is None:
+            raise RuntimeError("parallel sharded runs need a remote_handler")
+        if self.max_events is not None or self.max_time is not None or self.tracer is not None:
+            raise RuntimeError(
+                "max_events/max_time/tracer are not supported in parallel "
+                "sharded runs; use the serial sharded mode"
+            )
+        if self.before_fork is not None:
+            self.before_fork()
+        import multiprocessing
+
+        shard_count = self.num_shards
+        conns = []
+        pids = []
+        for index in range(shard_count):
+            parent_conn, child_conn = multiprocessing.Pipe()
+            pid = os.fork()
+            if pid == 0:
+                status = 1
+                try:
+                    parent_conn.close()
+                    for earlier in conns:
+                        earlier.close()
+                    self._worker_loop(index, child_conn)
+                    status = 0
+                except BaseException:
+                    try:
+                        child_conn.send(("error", traceback.format_exc()))
+                    except Exception:
+                        pass
+                finally:
+                    try:
+                        child_conn.close()
+                    finally:
+                        os._exit(status)
+            child_conn.close()
+            conns.append(parent_conn)
+            pids.append(pid)
+
+        try:
+            # One round trip per epoch: the driver knows every lane's
+            # post-drain peek (from the previous replies) and holds the
+            # undelivered mail, so ``t_min`` -- the earliest event anywhere --
+            # is computable without polling the workers again.
+            inboxes = [[] for _ in range(shard_count)]
+            peeks = [lane.queue.peek_time() for lane in self.lanes]
+            while True:
+                t_min = min((t for t in peeks if t is not None), default=None)
+                for inbox in inboxes:
+                    for time, _descriptor, _tag in inbox:
+                        if t_min is None or time < t_min:
+                            t_min = time
+                if t_min is None:
+                    break
+                epoch_end = t_min + self.lookahead
+                for conn, inbox in zip(conns, inboxes):
+                    conn.send(("step", inbox, epoch_end))
+                inboxes = [[] for _ in range(shard_count)]
+                replies = [self._recv(conn) for conn in conns]
+                peeks = []
+                for worker_outboxes, peek in replies:
+                    peeks.append(peek)
+                    for target in range(shard_count):
+                        inboxes[target].extend(worker_outboxes[target])
+            for conn in conns:
+                conn.send(("finish",))
+            summaries = [self._recv(conn) for conn in conns]
+        finally:
+            for conn in conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            for pid in pids:
+                os.waitpid(pid, 0)
+
+        self._events_total = 0
+        for lane, summary in zip(self.lanes, summaries):
+            lane.events_processed = summary["events"]
+            lane.last_event_time = summary["last_event_time"]
+            lane.cursor = summary["cursor"]
+            self._events_total += summary["events"]
+            # The driver never executed anything: its queues still hold every
+            # event the workers consumed.  Drop them so quiescence holds.
+            lane.queue.clear()
+            lane.instant_callbacks = []
+        self._outboxes = [[] for _ in range(shard_count)]
+        self._parallel_done = True
+        self._idle_now = max(
+            self._idle_now, max(lane.last_event_time for lane in self.lanes)
+        )
+        if self.import_state is not None:
+            self.import_state([summary["protocol"] for summary in summaries])
+        return self._idle_now
+
+    @staticmethod
+    def _recv(conn):
+        message = conn.recv()
+        if message[0] == "error":
+            raise RuntimeError("sharded worker failed:\n%s" % message[1])
+        return message[1]
+
+    def _worker_loop(self, index, conn):
+        """The per-shard worker: serve step/finish requests until done.
+
+        The worker inherited the full simulation state via fork but only ever
+        executes its own lane; every other lane's copy goes stale and is
+        ignored.  Inbox entries are pushed in the order the driver merged
+        them (source lane, then send order) -- the serial barrier's order.
+        """
+        lane = self.lanes[index]
+        handler = self.remote_handler
+        shard_count = self.num_shards
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "step":
+                # Deliver this epoch's mail (driver-merged order), drain the
+                # lane to the epoch end, return outboxes + post-drain peek.
+                for time, descriptor, tag in message[1]:
+                    lane.queue.push_callback(time, partial(handler, descriptor), tag=tag)
+                self._outboxes = [[] for _ in range(shard_count)]
+                self._drain_lane(lane, message[2], None, None)
+                conn.send(("ok", (self._outboxes, lane.queue.peek_time())))
+            elif kind == "finish":
+                blob = None if self.export_state is None else self.export_state(index)
+                conn.send(
+                    (
+                        "ok",
+                        {
+                            "events": lane.events_processed,
+                            "last_event_time": lane.last_event_time,
+                            "cursor": lane.cursor,
+                            "protocol": blob,
+                        },
+                    )
+                )
+                return
+            else:
+                raise ValueError("unknown worker request %r" % (kind,))
+
+    def __repr__(self):
+        return "ShardedSimulator(shards=%d, lookahead=%.3g, pending=%d, processed=%d%s)" % (
+            self.num_shards,
+            self.lookahead,
+            self.pending_events,
+            self._events_total,
+            ", parallel" if self.parallel else "",
+        )

@@ -20,9 +20,8 @@ from repro.workloads.generator import (
     mixed_demand,
     uniform_demand,
 )
+from repro.network.transit_stub import HOST_LINK_CAPACITY, HOST_LINK_DELAY
 from repro.workloads.scenarios import (
-    HOST_LINK_CAPACITY,
-    HOST_LINK_DELAY,
     NETWORK_SIZES,
     NetworkScenario,
     build_network,

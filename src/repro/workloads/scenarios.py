@@ -8,8 +8,6 @@ experiment harnesses can enumerate them declaratively.
 
 from repro.network.transit_stub import (
     BIG_PARAMETERS,
-    HOST_LINK_CAPACITY,
-    HOST_LINK_DELAY,
     LAN,
     MEDIUM_PARAMETERS,
     PAPER_BIG_PARAMETERS,

@@ -8,7 +8,6 @@ from repro.core.centralized import centralized_bneck
 from repro.fairness.algebra import ExactAlgebra
 from repro.fairness.verification import is_max_min_fair
 from repro.fairness.waterfilling import water_filling
-from repro.network.topology import dumbbell_topology, star_topology
 from repro.network.transit_stub import small_network, stub_routers
 from repro.network.units import MBPS
 from repro.simulator.random_source import RandomSource

@@ -18,7 +18,6 @@ from repro.core.packets import (
 from repro.core.source_node import SourceNodeTask
 from repro.core.state import IDLE, WAITING_RESPONSE
 from repro.fairness.algebra import FloatAlgebra
-from repro.network.topology import single_link_topology
 from repro.network.units import MBPS
 from repro.simulator.simulation import Simulator
 from tests.conftest import make_session

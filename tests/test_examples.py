@@ -7,7 +7,6 @@ evolves.
 
 import importlib.util
 import os
-import sys
 
 import pytest
 

@@ -19,7 +19,6 @@ from repro.experiments.reporting import (
 )
 from repro.fairness.allocation import RateAllocation
 from repro.fairness.waterfilling import water_filling
-from repro.network.units import MBPS
 from repro.simulator.statistics import summarize
 from repro.workloads.scenarios import NetworkScenario
 from tests.conftest import make_session

@@ -5,7 +5,7 @@ import math
 
 import pytest
 
-from repro.fairness.algebra import ExactAlgebra, FloatAlgebra, default_algebra
+from repro.fairness.algebra import FloatAlgebra, default_algebra
 
 
 class TestFloatAlgebra(object):

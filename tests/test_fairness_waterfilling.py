@@ -7,7 +7,6 @@ import pytest
 from repro.fairness.algebra import ExactAlgebra
 from repro.fairness.verification import is_max_min_fair
 from repro.fairness.waterfilling import water_filling
-from repro.network.topology import dumbbell_topology, parking_lot_topology, star_topology
 from repro.network.units import MBPS
 from tests.conftest import make_session
 

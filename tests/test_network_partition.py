@@ -1,0 +1,132 @@
+"""Tests for the topology-aware shard partitioner."""
+
+import math
+
+import pytest
+
+from repro.network.partition import ShardPlan, partition_network
+from repro.network.topology import dumbbell_topology, line_topology
+from repro.network.transit_stub import (
+    STUB_TIER,
+    TRANSIT_TIER,
+    medium_network,
+    small_network,
+)
+from repro.simulator.clock import microseconds
+from repro.network.units import MBPS
+
+
+class TestTransitStubPartition(object):
+    def test_covers_every_router(self):
+        network = small_network("lan", seed=0)
+        plan = partition_network(network, 4)
+        for node in network.routers():
+            assert 0 <= plan.shard_of(node.node_id) < 4
+
+    def test_single_shard_has_no_cut_links(self):
+        network = small_network("lan", seed=0)
+        plan = partition_network(network, 1)
+        assert plan.cut_links == []
+        assert plan.lookahead == math.inf
+        assert set(plan.shard_of(n.node_id) for n in network.routers()) == {0}
+
+    def test_cut_links_are_transit_to_transit_only(self):
+        network = medium_network("lan", seed=2)
+        plan = partition_network(network, 4)
+        assert plan.cut_links
+        for link in plan.cut_links:
+            assert network.node(link.source).tier == TRANSIT_TIER
+            assert network.node(link.target).tier == TRANSIT_TIER
+
+    def test_stub_domains_follow_their_sponsor(self):
+        network = small_network("lan", seed=1)
+        plan = partition_network(network, 4)
+        # Every stub router must share its shard with the transit router that
+        # anchors its cluster: walking stub-only edges never crosses shards.
+        for node in network.routers():
+            if node.tier != STUB_TIER:
+                continue
+            for neighbor in network.neighbors(node.node_id):
+                if network.node(neighbor).tier == STUB_TIER:
+                    assert plan.shard_of(neighbor) == plan.shard_of(node.node_id)
+
+    def test_shards_are_balanced(self):
+        network = medium_network("lan", seed=0)
+        plan = partition_network(network, 4)
+        sizes = plan.shard_sizes()
+        assert len(sizes) == 4
+        assert all(size > 0 for size in sizes)
+        # Largest-first greedy placement keeps shards within one cluster of
+        # each other; clusters of the medium network are ~28 routers each.
+        assert max(sizes) - min(sizes) <= max(sizes) // 2 + 1
+
+    def test_lookahead_is_min_cut_control_delay(self):
+        network = medium_network("lan", seed=0)
+        plan = partition_network(network, 2)
+        expected = min(link.control_delay() for link in plan.cut_links)
+        assert plan.lookahead == expected
+        assert plan.lookahead > 0
+
+    def test_deterministic_for_a_given_network(self):
+        first = partition_network(small_network("lan", seed=3), 4)
+        second = partition_network(small_network("lan", seed=3), 4)
+        routers = [n.node_id for n in first.network.routers()]
+        assert [first.shard_of(r) for r in routers] == [
+            second.shard_of(r) for r in routers
+        ]
+
+
+class TestHostResolution(object):
+    def test_hosts_inherit_their_attached_router(self):
+        network = small_network("lan", seed=0)
+        plan = partition_network(network, 4)
+        router = network.routers()[5].node_id
+        host = network.attach_host(router, 100 * MBPS, microseconds(1))
+        assert plan.shard_of(host.node_id) == plan.shard_of(router)
+
+    def test_attaching_hosts_never_changes_the_lookahead(self):
+        network = small_network("lan", seed=0)
+        plan = partition_network(network, 4)
+        lookahead = plan.lookahead
+        for index in range(6):
+            network.attach_host(
+                network.routers()[index].node_id, 100 * MBPS, microseconds(1)
+            )
+        # Cut links were computed over the router graph; host access links can
+        # never cross shards.
+        assert plan.lookahead == lookahead
+        for link in network.links():
+            if network.node(link.source).is_host or network.node(link.target).is_host:
+                assert plan.shard_of(link.source) == plan.shard_of(link.target)
+
+    def test_unattached_node_raises(self):
+        network = line_topology(3)
+        plan = partition_network(network, 2)
+        with pytest.raises(KeyError):
+            plan.shard_of("no-such-node")
+
+
+class TestGenericTopologies(object):
+    def test_networks_without_transit_tier_partition_per_router(self):
+        network = dumbbell_topology(side_count=4, bottleneck_capacity=100 * MBPS,
+                                    delay=microseconds(1))
+        plan = partition_network(network, 2)
+        shards = set(plan.shard_of(n.node_id) for n in network.routers())
+        assert shards == {0, 1}
+        assert plan.lookahead > 0
+
+    def test_more_shards_than_clusters_leaves_some_empty(self):
+        network = line_topology(2)
+        plan = partition_network(network, 4)
+        sizes = plan.shard_sizes()
+        assert sum(sizes) == 2
+        assert len(sizes) == 4
+
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(ValueError):
+            partition_network(line_topology(2), 0)
+
+    def test_plan_repr_mentions_shards(self):
+        plan = partition_network(line_topology(3), 2)
+        assert isinstance(plan, ShardPlan)
+        assert "ShardPlan" in repr(plan)

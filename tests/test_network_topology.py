@@ -113,7 +113,7 @@ def test_random_mesh_extra_edges_increase_with_probability():
 def test_random_mesh_is_deterministic_per_seed():
     first = random_mesh_topology(12, random_source=RandomSource(7))
     second = random_mesh_topology(12, random_source=RandomSource(7))
-    assert {l.endpoints for l in first.links()} == {l.endpoints for l in second.links()}
+    assert {link.endpoints for link in first.links()} == {link.endpoints for link in second.links()}
 
 
 def test_random_mesh_requires_two_routers():

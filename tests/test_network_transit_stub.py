@@ -77,9 +77,9 @@ def test_wan_delays_are_in_range_and_not_constant():
 def test_generation_is_deterministic_per_seed():
     first = small_network(LAN, seed=9)
     second = small_network(LAN, seed=9)
-    assert {l.endpoints for l in first.links()} == {l.endpoints for l in second.links()}
+    assert {link.endpoints for link in first.links()} == {link.endpoints for link in second.links()}
     third = small_network(LAN, seed=10)
-    assert {l.endpoints for l in first.links()} != {l.endpoints for l in third.links()}
+    assert {link.endpoints for link in first.links()} != {link.endpoints for link in third.links()}
 
 
 def test_every_stub_domain_reaches_the_transit_core():

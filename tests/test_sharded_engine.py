@@ -1,0 +1,367 @@
+"""Tests for the sharded execution engine (:mod:`repro.simulator.sharding`).
+
+Covered here:
+
+* the :class:`ShardedSimulator` primitive itself -- lane scheduling, epoch
+  barriers, mailbox ordering, instant-end callbacks, horizons and limits;
+* the engine knob parser;
+* protocol integration -- sharded runs validate against the oracle, reproduce
+  the sequential engine's final allocations bit-exactly, and work through the
+  full :class:`~repro.experiments.runner.ExperimentRunner` churn machinery;
+* the fork-parallel mode -- bit-identical to the serial sharded schedule
+  (skipped where ``os.fork`` is unavailable).
+"""
+
+import os
+
+import pytest
+
+from repro.core.protocol import BNeckProtocol
+from repro.core.validation import validate_against_oracle
+from repro.experiments.runner import ExperimentRunner, ScenarioSpec
+from repro.network.partition import partition_network
+from repro.network.topology import single_link_topology
+from repro.network.transit_stub import small_network
+from repro.network.units import MBPS
+from repro.simulator.clock import microseconds
+from repro.simulator.errors import SimulationLimitExceeded
+from repro.simulator.sharding import ShardedSimulator, parse_engine
+from repro.workloads.dynamics import DynamicPhase
+from repro.workloads.generator import WorkloadGenerator
+
+HAVE_FORK = hasattr(os, "fork")
+
+
+def _sharded_simulator(shards=2, lookahead=None, **kwargs):
+    plan = partition_network(small_network("lan", seed=0), shards)
+    return ShardedSimulator(plan, lookahead=lookahead, **kwargs)
+
+
+class TestParseEngine(object):
+    def test_values(self):
+        assert parse_engine(None) == ("sequential", 1, False)
+        assert parse_engine("sequential") == ("sequential", 1, False)
+        assert parse_engine("sharded") == ("sharded", 4, False)
+        assert parse_engine("sharded:2") == ("sharded", 2, False)
+        assert parse_engine("sharded:8/parallel") == ("sharded", 8, True)
+
+    def test_rejects_garbage(self):
+        for bad in ("threads", "sharded:zero", "sharded:0", "sharded:-1"):
+            with pytest.raises(ValueError):
+                parse_engine(bad)
+
+
+class TestShardedSimulatorPrimitive(object):
+    def test_lanes_have_independent_queues_and_forked_randoms(self):
+        simulator = _sharded_simulator(4, seed=11)
+        assert len(simulator.lanes) == 4
+        seeds = [lane.random.seed for lane in simulator.lanes]
+        assert len(set(seeds)) == 4
+        # Forks are label-derived, hence stable across runs.
+        again = _sharded_simulator(4, seed=11)
+        assert [lane.random.seed for lane in again.lanes] == seeds
+
+    def test_events_execute_in_time_order_within_a_lane(self):
+        simulator = _sharded_simulator(2)
+        order = []
+        simulator.schedule(2e-6, lambda: order.append("b"))
+        simulator.schedule(1e-6, lambda: order.append("a"))
+        simulator.schedule(3e-6, lambda: order.append("c"))
+        simulator.run_until_quiescent()
+        assert order == ["a", "b", "c"]
+        assert simulator.events_processed == 3
+        assert simulator.pending_events == 0
+
+    def test_explicit_shard_scheduling(self):
+        simulator = _sharded_simulator(2)
+        seen = []
+        simulator.schedule_on(1, 1e-6, lambda: seen.append(simulator.current_shard))
+        simulator.schedule_on(0, 1e-6, lambda: seen.append(simulator.current_shard))
+        simulator.run_until_quiescent()
+        assert sorted(seen) == [0, 1]
+        assert simulator.current_shard is None
+
+    def test_cross_lane_scheduling_mid_run_is_rejected(self):
+        simulator = _sharded_simulator(2)
+        failures = []
+
+        def cross():
+            try:
+                simulator.schedule_on(1, simulator.now + 1e-6, lambda: None)
+            except RuntimeError:
+                failures.append("rejected")
+
+        simulator.schedule_on(0, 1e-6, cross)
+        simulator.run_until_quiescent()
+        assert failures == ["rejected"]
+
+    def test_remote_post_delivers_after_the_lookahead(self):
+        simulator = _sharded_simulator(2, lookahead=1e-6)
+        log = []
+        simulator.remote_handler = lambda payload: log.append(
+            (payload, simulator.current_shard, simulator.now)
+        )
+        send_time = 1e-6
+
+        def sender():
+            simulator.post_remote(1, 2e-6, "hello")
+
+        simulator.schedule_on(0, send_time, sender)
+        simulator.run_until_quiescent()
+        assert log == [("hello", 1, send_time + 2e-6)]
+
+    def test_mailbox_barrier_preserves_source_lane_order(self):
+        simulator = _sharded_simulator(4, lookahead=1e-6)
+        received = []
+        simulator.remote_handler = received.append
+        # Three lanes send to lane 3 at the same instant with the same delay:
+        # deliveries must arrive in source-lane order, deterministically.
+        for lane in (0, 1, 2):
+            simulator.schedule_on(
+                lane,
+                1e-6,
+                lambda lane=lane: simulator.post_remote(3, 5e-6, "from-%d" % lane),
+            )
+        simulator.run_until_quiescent()
+        assert received == ["from-0", "from-1", "from-2"]
+
+    def test_idle_remote_post_goes_straight_to_the_target_lane(self):
+        simulator = _sharded_simulator(2)
+        received = []
+        simulator.remote_handler = received.append
+        simulator.post_remote(1, 1e-6, "install-time")
+        assert simulator.pending_events == 1
+        simulator.run_until_quiescent()
+        assert received == ["install-time"]
+
+    def test_instant_end_callbacks_flush_per_lane(self):
+        simulator = _sharded_simulator(2)
+        order = []
+
+        def event():
+            order.append("event@%r" % simulator.now)
+            simulator.call_at_instant_end(lambda: order.append("flush@%r" % simulator.now))
+
+        simulator.schedule_on(0, 1e-6, event)
+        simulator.schedule_on(0, 1e-6, lambda: order.append("peer@%r" % simulator.now))
+        simulator.run_until_quiescent()
+        # The flush runs after every event of the instant, before time moves.
+        assert order == ["event@1e-06", "peer@1e-06", "flush@1e-06"]
+        assert simulator.pending_instant_callbacks == 0
+
+    def test_run_until_horizon_semantics_match_sequential(self):
+        simulator = _sharded_simulator(2)
+        fired = []
+        simulator.schedule_on(0, 1e-6, lambda: fired.append("early"))
+        simulator.schedule_on(1, 5e-6, lambda: fired.append("late"))
+        now = simulator.run(until=2e-6)
+        assert fired == ["early"]
+        assert now == 2e-6
+        assert simulator.pending_events == 1
+        now = simulator.run(until=1e-5)
+        assert fired == ["early", "late"]
+        assert now == 1e-5
+
+    def test_stop_condition_and_stop(self):
+        simulator = _sharded_simulator(2)
+        fired = []
+        for index in range(5):
+            simulator.schedule_on(0, (index + 1) * 1e-6, lambda i=index: fired.append(i))
+        simulator.run(stop_condition=lambda: len(fired) >= 2)
+        assert fired == [0, 1]
+        simulator.stop()  # a stale stop must not wedge the next run
+        simulator.run_until_quiescent()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_event_limit_raises(self):
+        simulator = _sharded_simulator(2, max_events=3)
+        for index in range(10):
+            simulator.schedule_on(0, (index + 1) * 1e-6, lambda: None)
+        with pytest.raises(SimulationLimitExceeded):
+            simulator.run_until_quiescent()
+
+    def test_cancel_works_across_lanes(self):
+        simulator = _sharded_simulator(2)
+        fired = []
+        keep = simulator.schedule_on(0, 1e-6, lambda: fired.append("keep"))
+        drop = simulator.schedule_on(1, 1e-6, lambda: fired.append("drop"))
+        simulator.cancel(drop)
+        assert simulator.pending_events == 1
+        simulator.run_until_quiescent()
+        assert fired == ["keep"]
+        assert keep.consumed
+
+    def test_lookahead_override_must_not_exceed_plan_bound(self):
+        plan = partition_network(small_network("lan", seed=0), 2)
+        with pytest.raises(ValueError):
+            ShardedSimulator(plan, lookahead=plan.lookahead * 2)
+        with pytest.raises(ValueError):
+            ShardedSimulator(plan, lookahead=0.0)
+
+
+def _populated_protocol(engine, count=30, seed=9, size="small"):
+    spec = ScenarioSpec(size=size, delay_model="lan", seed=seed, engine=engine)
+    runner = ExperimentRunner(spec, generator_seed=seed)
+    runner.populate(count, join_window=(0.0, 1e-3))
+    return runner
+
+
+class TestShardedProtocolRuns(object):
+    def test_mass_join_validates_and_matches_sequential_bits(self):
+        sequential = _populated_protocol("sequential")
+        sequential.run_to_quiescence()
+        expected = sequential.protocol.current_allocation().as_dict()
+        for engine in ("sharded:2", "sharded:4"):
+            runner = _populated_protocol(engine)
+            runner.run_to_quiescence()
+            assert validate_against_oracle(runner.protocol).valid
+            allocation = runner.protocol.current_allocation().as_dict()
+            assert allocation == expected  # bit-identical, not approx
+
+    def test_churn_phases_through_experiment_runner(self):
+        outcomes = {}
+        for engine in ("sequential", "sharded:3"):
+            runner = _populated_protocol(engine, count=40, seed=4)
+            runner.checkpoint("mass join")
+            phases = [
+                DynamicPhase("leave", leaves=15),
+                DynamicPhase("join", joins=20),
+                DynamicPhase("mixed", joins=8, leaves=8, changes=8),
+            ]
+            runner.run_phases(phases)
+            measurement = runner.checkpoint("after churn")
+            assert measurement.validated
+            outcomes[engine] = (
+                runner.protocol.current_allocation().as_dict(),
+                measurement.total_packets,
+            )
+        assert outcomes["sequential"][0] == outcomes["sharded:3"][0]
+
+    def test_sharded_run_is_deterministic_across_repeats(self):
+        first = _populated_protocol("sharded:4", count=25, seed=13)
+        first.run_to_quiescence()
+        second = _populated_protocol("sharded:4", count=25, seed=13)
+        second.run_to_quiescence()
+        assert (
+            first.protocol.current_allocation().as_dict()
+            == second.protocol.current_allocation().as_dict()
+        )
+        assert first.protocol.tracer.total == second.protocol.tracer.total
+        assert (
+            first.protocol.simulator.events_processed
+            == second.protocol.simulator.events_processed
+        )
+
+    def test_use_shard_plan_guards(self):
+        network = small_network("lan", seed=0)
+        plan = partition_network(network, 2)
+        protocol = BNeckProtocol(network)  # single-queue simulator
+        with pytest.raises(TypeError):
+            protocol.use_shard_plan(plan)
+
+        sharded = BNeckProtocol(network, simulator=ShardedSimulator(plan))
+        generator = WorkloadGenerator(network, seed=1)
+        sharded.use_shard_plan(plan)
+        generator.populate(sharded, 2, join_window=(0.0, 1e-4))
+        with pytest.raises(RuntimeError):
+            sharded.use_shard_plan(plan)
+
+    def test_engine_knob_rejects_protocol_factory(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                size="small",
+                engine="sharded:2",
+                protocol_factory=lambda network, tracer: BNeckProtocol(network),
+            )
+
+    def test_single_link_topology_runs_sharded(self):
+        # Degenerate case: fewer clusters than shards, sessions on one link.
+        network = single_link_topology(capacity=100 * MBPS, delay=microseconds(1))
+        plan = partition_network(network, 4)
+        protocol = BNeckProtocol(network, simulator=ShardedSimulator(plan))
+        protocol.use_shard_plan(plan)
+        source = network.attach_host("r0", 1000 * MBPS, microseconds(1))
+        sink = network.attach_host("r1", 1000 * MBPS, microseconds(1))
+        protocol.open_session(source.node_id, sink.node_id, session_id="a")
+        protocol.run_until_quiescent()
+        assert protocol.current_allocation().as_dict()["a"] == pytest.approx(100 * MBPS)
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork-parallel mode needs POSIX")
+class TestParallelShardedRuns(object):
+    def _one_shot(self, engine, seed=7, count=30):
+        runner = _populated_protocol(engine, count=count, seed=seed)
+        ids = list(runner.active_ids)
+        for session_id in ids[:6]:
+            runner.protocol.leave(session_id, at=4e-3)
+        for session_id in ids[6:12]:
+            runner.protocol.change(session_id, 2 * MBPS, at=8e-3)
+        quiescence = runner.run_to_quiescence()
+        protocol = runner.protocol
+        return {
+            "quiescence": quiescence,
+            "packets": protocol.tracer.total,
+            "by_type": dict(protocol.tracer.by_type),
+            "events": protocol.simulator.events_processed,
+            "allocation": protocol.current_allocation().as_dict(),
+            "notified": protocol.notified_allocation().as_dict(),
+            "rate_callbacks": protocol.rate_callbacks,
+            "in_flight": protocol.in_flight_packets,
+            "valid": validate_against_oracle(protocol).valid,
+            "log_recorded": protocol.notification_log.recorded,
+        }
+
+    def test_parallel_run_is_bit_identical_to_serial(self):
+        serial = self._one_shot("sharded:2")
+        parallel = self._one_shot("sharded:2/parallel")
+        assert parallel == serial
+        assert parallel["valid"]
+        assert parallel["in_flight"] == 0
+
+    def test_ring_log_gathers_in_run_records_despite_eviction(self):
+        # Pre-fork records can be evicted from a ring log by in-run traffic;
+        # the gather must still merge every in-run record (deltas are counted
+        # from `recorded`, not positions).
+        def run(engine):
+            spec = ScenarioSpec(
+                size="small",
+                delay_model="lan",
+                seed=6,
+                engine=engine,
+                notification_log="ring:8",
+                batch_notifications=False,
+            )
+            runner = ExperimentRunner(spec, generator_seed=6)
+            runner.populate(10, join_window=(0.0, 1e-4))
+            for index in range(8):  # fill the ring before the run
+                runner.protocol.notify_rate("warmup-%d" % index, float(index))
+            runner.run_to_quiescence()
+            log = runner.protocol.notification_log
+            return log.recorded, [(r.session_id, r.rate) for r in log]
+
+        serial_recorded, serial_retained = run("sharded:2")
+        parallel_recorded, parallel_retained = run("sharded:2/parallel")
+        assert parallel_recorded == serial_recorded
+        assert parallel_recorded > 8
+        # The retained window holds the newest in-run records, not the
+        # pre-fork warmup entries.
+        assert parallel_retained == serial_retained
+        assert not any(sid.startswith("warmup") for sid, _ in parallel_retained)
+
+    def test_parallel_runs_are_one_shot(self):
+        runner = _populated_protocol("sharded:2/parallel", count=5, seed=3)
+        runner.run_to_quiescence()
+        assert runner.protocol.quiescent
+        with pytest.raises(RuntimeError):
+            runner.protocol.run_until_quiescent()
+
+    def test_worker_failure_surfaces_as_runtime_error(self):
+        simulator = _sharded_simulator(2, parallel=True)
+        simulator.remote_handler = lambda payload: None
+
+        def boom():
+            raise ValueError("worker exploded")
+
+        simulator.schedule_on(1, 1e-6, boom)
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            simulator.run_until_quiescent()
