@@ -22,13 +22,24 @@ packets spent on the reconfiguration.
 
 Run with::
 
-    python examples/dynamic_sessions.py
+    python examples/dynamic_sessions.py [--engine sequential|sharded[:K]]
+
+The ``--engine`` flag picks the execution engine for the walkthrough.  This
+example drives the session API directly with a custom printing application
+(which cannot be replayed inside worker processes), so the parallel engine
+falls back to its bit-identical serial sharded schedule here; use
+``examples/experiment1_sweep.py --engine sharded:K/parallel`` or the sharded
+benchmarks for workloads that exercise the persistent worker pool.
 """
+
+import argparse
+import sys
 
 from repro import MBPS, parking_lot_topology
 from repro.core import SessionApplication
 from repro.experiments import ExperimentRunner, ScenarioSpec
 from repro.simulator.clock import microseconds
+from repro.simulator.sharding import parse_engine
 
 
 class PrintingApplication(SessionApplication):
@@ -52,11 +63,40 @@ def run_step(runner, description):
     print()
 
 
-def main():
+def parse_arguments(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--engine",
+        default="sequential",
+        help=(
+            "execution engine: 'sequential' (default) or 'sharded[:K]'; "
+            "'sharded:K/parallel' runs this walkthrough on the bit-identical "
+            "serial sharded schedule (see the module docstring)"
+        ),
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None):
+    arguments = parse_arguments(argv)
+    try:
+        _kind, shards, parallel = parse_engine(arguments.engine)
+    except ValueError as error:
+        print("ERROR: %s" % error, file=sys.stderr)
+        return 2
+    engine = arguments.engine
+    if parallel:
+        engine = "sharded:%d" % shards
+        print(
+            "note: this walkthrough joins sessions with a custom printing "
+            "application, which cannot be replayed in worker processes; "
+            "running the bit-identical serial schedule %r instead" % engine
+        )
     # Three 100 Mbps links in a row: r0 - r1 - r2 - r3.
     spec = ScenarioSpec(
         name="parking-lot",
         network_builder=lambda: parking_lot_topology(3, capacity=100 * MBPS),
+        engine=engine,
     )
     runner = ExperimentRunner(spec)
     network, protocol = runner.network, runner.protocol
@@ -95,7 +135,8 @@ def main():
     for session_id, rate in sorted(allocation.as_dict().items()):
         print("    %-8s %7.2f Mbps" % (session_id, rate / MBPS))
     print("total control packets over the whole run: %d" % runner.tracer.total)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

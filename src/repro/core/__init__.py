@@ -14,6 +14,8 @@ The package mirrors the paper's Section III structure:
 * :mod:`~repro.core.destination_node` -- the DestinationNode task (Figure 4).
 * :mod:`~repro.core.api` -- the session-facing primitives
   (``API.Join`` / ``API.Leave`` / ``API.Change`` / ``API.Rate``).
+* :mod:`~repro.core.actions` -- joins/leaves/changes as broadcastable data
+  records, replayable in every process of a persistent-worker parallel run.
 * :mod:`~repro.core.notifications` -- pluggable ``API.Rate`` record storage
   (full / ring-buffer / null) behind ``BNeckProtocol.notifications``.
 * :mod:`~repro.core.protocol` -- :class:`BNeckProtocol`, which instantiates the
@@ -31,6 +33,13 @@ from repro.core.notifications import (
     NullNotificationLog,
     RingNotificationLog,
     make_notification_log,
+)
+from repro.core.actions import (
+    ChangeAction,
+    JoinAction,
+    LeaveAction,
+    join_action_from_spec,
+    replay_actions,
 )
 from repro.core.packets import (
     BOTTLENECK,
@@ -54,9 +63,12 @@ __all__ = [
     "BNeckProtocol",
     "BOTTLENECK",
     "Bottleneck",
+    "ChangeAction",
     "IDLE",
     "Join",
+    "JoinAction",
     "Leave",
+    "LeaveAction",
     "LinkState",
     "NotificationLog",
     "NullNotificationLog",
@@ -76,6 +88,8 @@ __all__ = [
     "WAITING_RESPONSE",
     "centralized_bneck",
     "check_stability",
+    "join_action_from_spec",
     "make_notification_log",
+    "replay_actions",
     "validate_against_oracle",
 ]

@@ -1,0 +1,208 @@
+"""Broadcastable session actions: joins, leaves and rate changes as data.
+
+The persistent-worker parallel engine (:mod:`repro.simulator.sharding`) keeps
+one process per shard resident across experiment phases.  Phase N+1's schedule
+is computed on the driver (where the workload generator and its random streams
+live) *after* phase N's quiescence time is known, and must then be replayed
+bit-identically in every worker process.  Pre-bound callbacks cannot travel
+across a pipe, so the workload layer describes its schedule with the three
+action records below -- plain picklable data resolving every random choice
+(endpoints, demands, times) on the driver -- and every process replays them
+through the same :func:`replay_actions` code path:
+
+* a :class:`JoinAction` attaches one fresh source and one fresh destination
+  host, creates the session along the shortest path, and schedules its
+  ``API.Join``;
+* a :class:`LeaveAction` / :class:`ChangeAction` schedule ``API.Leave`` /
+  ``API.Change`` on an existing session.
+
+Replay is deterministic: host attachment, session creation and API scheduling
+happen in action order, so every process pushes the same events in the same
+relative order onto the same lanes.  The actions carry tuple-based
+``__reduce__`` implementations, keeping their pickles small and cheap (they
+ride the same wire as the batch-encoded packet outboxes).
+
+:meth:`repro.core.protocol.BNeckProtocol.apply_actions` is the
+engine-transparent entry point: on a sequential or serial-sharded engine it
+replays locally; on a persistent-parallel engine it broadcasts the batch to
+every worker first.  The module-level :func:`replay_actions` works with any
+protocol exposing the shared session API (the baselines included).
+"""
+
+import math
+
+
+class JoinAction(object):
+    """``API.Join`` of a new session, with its host attachments.
+
+    ``source_router`` / ``destination_router`` name the (stub) routers the
+    fresh hosts attach to; ``host_capacity`` / ``host_delay`` parameterize the
+    access links exactly as :class:`~repro.workloads.generator.WorkloadGenerator`
+    would.
+    """
+
+    kind = "join"
+    __slots__ = (
+        "session_id",
+        "source_router",
+        "destination_router",
+        "demand",
+        "at",
+        "host_capacity",
+        "host_delay",
+    )
+
+    def __init__(self, session_id, source_router, destination_router, demand,
+                 at, host_capacity, host_delay):
+        self.session_id = session_id
+        self.source_router = source_router
+        self.destination_router = destination_router
+        self.demand = demand
+        self.at = at
+        self.host_capacity = host_capacity
+        self.host_delay = host_delay
+
+    def __reduce__(self):
+        return (
+            JoinAction,
+            (
+                self.session_id,
+                self.source_router,
+                self.destination_router,
+                self.demand,
+                self.at,
+                self.host_capacity,
+                self.host_delay,
+            ),
+        )
+
+    def __repr__(self):
+        return "JoinAction(%r, %r -> %r, demand=%r, at=%r)" % (
+            self.session_id,
+            self.source_router,
+            self.destination_router,
+            self.demand,
+            self.at,
+        )
+
+
+class LeaveAction(object):
+    """``API.Leave`` of an active session at an absolute time."""
+
+    kind = "leave"
+    __slots__ = ("session_id", "at")
+
+    def __init__(self, session_id, at):
+        self.session_id = session_id
+        self.at = at
+
+    def __reduce__(self):
+        return (LeaveAction, (self.session_id, self.at))
+
+    def __repr__(self):
+        return "LeaveAction(%r, at=%r)" % (self.session_id, self.at)
+
+
+class ChangeAction(object):
+    """``API.Change`` of an active session's maximum rate at an absolute time."""
+
+    kind = "change"
+    __slots__ = ("session_id", "demand", "at")
+
+    def __init__(self, session_id, demand, at):
+        self.session_id = session_id
+        self.demand = demand
+        self.at = at
+
+    def __reduce__(self):
+        return (ChangeAction, (self.session_id, self.demand, self.at))
+
+    def __repr__(self):
+        return "ChangeAction(%r, demand=%r, at=%r)" % (
+            self.session_id,
+            self.demand,
+            self.at,
+        )
+
+
+def join_action_from_spec(spec, host_capacity, host_delay):
+    """Turn a :class:`~repro.workloads.generator.SessionSpec` into a JoinAction."""
+    return JoinAction(
+        session_id=spec.session_id,
+        source_router=spec.source_router,
+        destination_router=spec.destination_router,
+        demand=spec.demand,
+        at=spec.join_time,
+        host_capacity=host_capacity,
+        host_delay=host_delay,
+    )
+
+
+def replay_actions(protocol, actions):
+    """Apply a batch of session actions to ``protocol``, in order.
+
+    Works with any protocol exposing the shared session API
+    (``network`` / ``create_session`` / ``join`` / ``leave`` / ``change``).
+    Returns ``{session_id: session}`` for the sessions the join actions
+    created, mirroring :meth:`~repro.workloads.generator.WorkloadGenerator.install`.
+    """
+    network = protocol.network
+    joined = {}
+    for action in actions:
+        kind = action.kind
+        if kind == "join":
+            source_host = network.attach_host(
+                action.source_router, action.host_capacity, action.host_delay
+            )
+            destination_host = network.attach_host(
+                action.destination_router, action.host_capacity, action.host_delay
+            )
+            session = protocol.create_session(
+                source_host.node_id,
+                destination_host.node_id,
+                demand=action.demand,
+                session_id=action.session_id,
+            )
+            protocol.join(session, at=action.at)
+            joined[action.session_id] = session
+        elif kind == "leave":
+            protocol.leave(action.session_id, at=action.at)
+        elif kind == "change":
+            protocol.change(action.session_id, action.demand, at=action.at)
+        else:
+            raise ValueError("unknown session action kind %r" % (kind,))
+    return joined
+
+
+def schedule_actions(protocol, actions):
+    """Apply an action batch through the protocol's engine-transparent entry.
+
+    Protocols exposing ``apply_actions`` (B-Neck) broadcast the batch to any
+    live persistent workers; the baselines -- which share the session API but
+    not the sharded machinery -- are replayed directly.
+    """
+    apply_actions = getattr(protocol, "apply_actions", None)
+    if apply_actions is not None:
+        return apply_actions(actions)
+    return replay_actions(protocol, actions)
+
+
+def validate_actions(actions):
+    """Sanity-check a batch before broadcasting it to worker processes.
+
+    Every action must carry a concrete absolute time: ``at=None`` (meaning
+    "right now") is resolved on the driver *before* an action is built,
+    because "now" differs between the driver and a worker replaying the
+    batch.
+    """
+    for action in actions:
+        if action.kind not in ("join", "leave", "change"):
+            raise ValueError("unknown session action kind %r" % (action.kind,))
+        at = action.at
+        if not isinstance(at, (int, float)) or math.isnan(at) or math.isinf(at):
+            # An infinite time would livelock the epoch loop: t_min = inf
+            # makes every epoch end at inf without ever consuming the event.
+            raise ValueError(
+                "action %r needs a finite absolute time, got %r" % (action, at)
+            )
+    return actions

@@ -35,11 +35,13 @@ per-instant coalescing alone rarely drops callbacks.  For churn-heavy
 experiments, ``notification_batch_window=w`` widens the batch to logical
 windows of ``w`` seconds: pending rates are delivered at the next multiple of
 ``w``, coalescing the whole convergence transient of a churn burst into one
-application update per session per window.  Windowed flushes are scheduled as
-ordinary simulation events, so (unlike per-instant batching) they are visible
-in ``events_processed``, may extend the reported quiescence time by at most
-one window, and count against ``Simulator.max_events`` / ``max_time`` caps --
-which is why they are opt-in.
+application update per session per window.  Windowed flushes run as
+out-of-band *bookkeeping timers*
+(:meth:`~repro.simulator.simulation.Simulator.schedule_bookkeeping`), so --
+exactly like per-instant batching -- they never appear in
+``events_processed``, never stretch a reported quiescence time, and never
+count against ``Simulator.max_events`` / ``max_time`` caps; applications
+still observe the window-boundary timestamp.
 
 The record of ``API.Rate`` invocations is kept in a pluggable *notification
 log* (see :mod:`repro.core.notifications`): the default retains everything
@@ -50,9 +52,16 @@ nothing) without affecting protocol behaviour.
 
 import math
 
+from repro.core.actions import (
+    ChangeAction,
+    LeaveAction,
+    replay_actions,
+    validate_actions,
+)
 from repro.core.api import RateNotification, SessionApplication
 from repro.core.notifications import make_notification_log
 from repro.core.destination_node import DestinationNodeTask
+from repro.core.packets import decode_packet, encode_packet
 from repro.core.router_link import RouterLinkTask
 from repro.core.source_node import SourceNodeTask
 from repro.fairness.algebra import default_algebra
@@ -147,6 +156,7 @@ class BNeckProtocol(object):
         self._shard_plan = None
         self._pending_by_shard = None
         self._fork_baseline = None
+        self._replaying_actions = False
 
     # ------------------------------------------------------------------ sharding
 
@@ -161,7 +171,10 @@ class BNeckProtocol(object):
         sends then resolve local vs. remote: same-shard deliveries take the
         usual bare-callback fast path, cross-shard deliveries travel as
         ``(session_id, stage_index, packet)`` descriptors through the
-        engine's epoch-batched mailboxes.
+        engine's epoch-batched mailboxes (batch-encoded as flat primitive
+        tuples when they cross a worker pipe).  This also installs the
+        action-broadcast handler that lets :meth:`apply_actions` replay
+        joins/leaves/changes identically in every persistent worker process.
         """
         if self._sources or self._router_links:
             raise RuntimeError("use_shard_plan must be called before sessions join")
@@ -173,15 +186,86 @@ class BNeckProtocol(object):
         self._shard_plan = plan
         self._pending_by_shard = [dict() for _ in range(plan.num_shards)]
         simulator.remote_handler = self._deliver_remote
+        simulator.action_handler = self._replay_actions
         simulator.before_fork = self._snapshot_fork_baseline
         simulator.export_state = self._export_shard_state
         simulator.import_state = self._import_shard_states
+        simulator.encode_outbox = self._encode_outbox
+        simulator.decode_inbox = self._decode_inbox
 
     def _deliver_remote(self, descriptor):
         """Deliver a cross-shard packet descriptor to its target stage."""
         session_id, stage_index, packet = descriptor
         self.in_flight_packets -= 1
         self._wirings[session_id].stages[stage_index].receive(packet, None)
+
+    @staticmethod
+    def _encode_outbox(entries):
+        """Batch-encode an epoch outbox for the worker pipe.
+
+        Each ``(time, (session_id, stage_index, packet), tag)`` entry becomes
+        one flat ``(time, session_id, stage_index, type_code, field...)``
+        tuple of primitives (see :func:`repro.core.packets.encode_packet`), so
+        a whole epoch's mail pickles without a single packet object on the
+        wire.  The delivery time stays in slot 0 -- the engine's driver reads
+        it for ``t_min`` without decoding.
+        """
+        return [
+            (time, descriptor[0], descriptor[1]) + encode_packet(descriptor[2])
+            for time, descriptor, _tag in entries
+        ]
+
+    @staticmethod
+    def _decode_inbox(entries):
+        """Rebuild ``(time, descriptor, tag)`` triples from the wire encoding."""
+        decoded = []
+        for entry in entries:
+            packet = decode_packet(entry[3:])
+            decoded.append((entry[0], (entry[1], entry[2], packet), packet.type_name))
+        return decoded
+
+    # ------------------------------------------------------------------ actions
+
+    def _workers_live(self):
+        return getattr(self.simulator, "workers_live", False)
+
+    def apply_actions(self, actions):
+        """Apply a batch of session actions, engine-transparently.
+
+        ``actions`` are :mod:`repro.core.actions` records (joins, leaves,
+        changes) with every random choice already resolved and an absolute
+        time each.  On a sequential or serial-sharded engine the batch is
+        replayed locally; with live persistent parallel workers it is
+        broadcast so every worker replays the identical batch before the next
+        run command.  Returns ``{session_id: session}`` for the joins
+        (driver-side copies).
+        """
+        actions = validate_actions(list(actions))
+        simulator = self.simulator
+        if self._shard_plan is not None and hasattr(simulator, "broadcast_actions"):
+            if getattr(simulator, "workers_live", False):
+                # Reject past-dated actions *before* the broadcast: a worker's
+                # idle clock lags the driver's, so its own past-time guards
+                # would not fire, and a batch the driver later rejects would
+                # already be scheduled worker-side -- permanent divergence.
+                now = simulator.now
+                for action in actions:
+                    if action.at < now:
+                        raise RuntimeError(
+                            "action %r is dated before the current time %r; "
+                            "actions broadcast to live persistent workers "
+                            "must be scheduled at or after `now`" % (action, now)
+                        )
+            return simulator.broadcast_actions(actions)
+        return self._replay_actions(actions)
+
+    def _replay_actions(self, actions):
+        """The engine's ``action_handler``: apply a batch to this process."""
+        self._replaying_actions = True
+        try:
+            return replay_actions(self, actions)
+        finally:
+            self._replaying_actions = False
 
     # ------------------------------------------------------------------ sessions
 
@@ -206,6 +290,14 @@ class BNeckProtocol(object):
         """
         if session.session_id in self._sessions:
             raise ValueError("session %r already joined" % session.session_id)
+        if self._workers_live() and not self._replaying_actions:
+            raise RuntimeError(
+                "cannot join a session object directly while persistent "
+                "parallel workers are live: the join must be replayed in "
+                "every worker process.  Describe it as a JoinAction and use "
+                "apply_actions (ExperimentRunner.install and the phase "
+                "machinery do this automatically)"
+            )
         if application is None:
             application = SessionApplication(session.session_id, session.demand)
         self._sessions[session.session_id] = session
@@ -234,8 +326,22 @@ class BNeckProtocol(object):
         return application
 
     def leave(self, session_id, at=None):
-        """``API.Leave``: terminate an active session, optionally at a future time."""
+        """``API.Leave``: terminate an active session, optionally at a future time.
+
+        With live persistent parallel workers the call is transparently
+        converted into a broadcast :class:`~repro.core.actions.LeaveAction`
+        (``at=None`` pins it to the current time) so every worker schedules
+        it identically.  Note the one semantic difference from the serial
+        engines: there ``at=None`` executes the API call inline (no event),
+        whereas the broadcast path necessarily schedules it -- one extra
+        entry in ``events_processed`` per converted call.  Workloads that
+        need bit-exact cross-engine schedules should pass explicit times.
+        """
         source = self._sources[session_id]
+        if self._workers_live() and not self._replaying_actions:
+            when = self.simulator.now if at is None else at
+            self.apply_actions([LeaveAction(session_id, when)])
+            return
 
         def deactivate():
             if session_id in self.registry:
@@ -245,9 +351,17 @@ class BNeckProtocol(object):
         self._schedule_api_call(deactivate, at, "API.Leave", shard=source.shard_id)
 
     def change(self, session_id, requested_rate, at=None):
-        """``API.Change``: request a new maximum rate, optionally at a future time."""
+        """``API.Change``: request a new maximum rate, optionally at a future time.
+
+        Broadcast as a :class:`~repro.core.actions.ChangeAction` when
+        persistent parallel workers are live (see :meth:`leave`).
+        """
         source = self._sources[session_id]
         session = self._sessions[session_id]
+        if self._workers_live() and not self._replaying_actions:
+            when = self.simulator.now if at is None else at
+            self.apply_actions([ChangeAction(session_id, requested_rate, when)])
+            return
 
         def apply_change():
             session.demand = requested_rate
@@ -269,6 +383,15 @@ class BNeckProtocol(object):
         # scheduled at the same instant.  Under a shard plan the call lands on
         # the lane owning the session's source actor.
         if at is None or at < self.simulator.now:
+            if self._workers_live():
+                # The driver of a persistent parallel run must never execute
+                # protocol work itself -- the workers own the authoritative
+                # state -- so immediate execution would silently diverge.
+                raise RuntimeError(
+                    "API calls on a driver with live persistent workers need "
+                    "an absolute time at or after the current time "
+                    "(got at=%r, now=%r)" % (at, self.simulator.now)
+                )
             callback()
         elif self._shard_plan is not None:
             self.simulator.schedule_on(shard, at, callback, tag=tag)
@@ -379,10 +502,14 @@ class BNeckProtocol(object):
                 if window is None:
                     self.simulator.call_at_instant_end(self._flush_pending_rates)
                 else:
-                    # Flush at the next window boundary strictly after `now`.
+                    # Flush at the next window boundary strictly after `now`,
+                    # through an out-of-band bookkeeping timer: the flush is
+                    # pure observation, so it must not occupy an event-queue
+                    # slot (it would show in ``events_processed`` and could
+                    # stretch a reported quiescence time by up to one window).
                     boundary = (math.floor(time / window) + 1.0) * window
-                    self.simulator.schedule_callback(
-                        boundary - time, self._flush_pending_rates, tag="API.Rate.flush"
+                    self.simulator.schedule_bookkeeping(
+                        boundary - time, self._flush_pending_rates_window
                     )
             pending[session_id] = rate
         else:
@@ -412,12 +539,25 @@ class BNeckProtocol(object):
         notified in the order of their *first* rate update within the instant,
         each carrying its *final* rate.
         """
+        self._deliver_pending_batch(self.simulator.now)
+
+    def _flush_pending_rates_window(self, due):
+        """Windowed-flush bookkeeping timer: deliver at the window boundary.
+
+        Fires between events (see
+        :meth:`repro.simulator.simulation.Simulator.schedule_bookkeeping`);
+        applications see the boundary timestamp ``due`` regardless of where
+        between two events the timer actually ran.
+        """
+        self._deliver_pending_batch(due)
+
+    def _deliver_pending_batch(self, time):
+        """Deliver the executing lane's coalesced rates, stamped ``time``."""
         pending = self._current_pending_rates()
         if not pending:
             return
         batch = list(pending.items())
         pending.clear()
-        time = self.simulator.now
         applications = self._applications
         delivered = 0
         for session_id, rate in batch:
@@ -433,16 +573,20 @@ class BNeckProtocol(object):
 
     # ----------------------------------------------- parallel-run state gather
     #
-    # A parallel sharded run executes in forked worker processes: each worker
-    # owns the authoritative state of its shard's actors, while the driver's
-    # copy stays frozen at fork time.  The three hooks below (installed on the
-    # engine by :meth:`use_shard_plan`) snapshot counter baselines before the
-    # fork, export each worker's per-session outcome and counter *deltas*, and
-    # fold everything back into the driver so ``current_allocation``,
-    # ``notified_allocation``, validation and packet accounting keep working
-    # transparently after the run.  Per-link ``LinkState`` and per-destination
-    # diagnostic counters are deliberately not gathered (nothing downstream of
-    # a finished run reads them; parallel runs are one-shot).
+    # A parallel sharded run executes in persistent forked worker processes:
+    # each worker owns the authoritative state of its shard's actors, while
+    # the driver's copy only advances structurally (through action replays)
+    # and through the gathers below.  The hooks (installed on the engine by
+    # :meth:`use_shard_plan`) snapshot counter baselines, export each worker's
+    # per-session outcome and counter *deltas*, and fold everything back into
+    # the driver so ``current_allocation``, ``notified_allocation``,
+    # validation and packet accounting keep working transparently between
+    # runs.  The gather repeats at the end of every run (the engine's
+    # EXPORT_STATE sync): workers re-snapshot their baselines right after
+    # exporting, so each sync ships only that run's deltas while per-session
+    # fields stay absolute (safe to re-import).  Per-link ``LinkState`` and
+    # per-destination diagnostic counters are deliberately not gathered
+    # (nothing on the driver reads them between runs).
 
     def _snapshot_fork_baseline(self):
         tracer = self.tracer

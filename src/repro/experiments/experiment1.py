@@ -19,6 +19,7 @@ preserved.  Pass larger ``session_counts`` to push further.
 
 from repro.experiments.runner import ExperimentRunner, ScenarioSpec
 from repro.network.transit_stub import LAN, WAN
+from repro.simulator.sharding import parse_engine
 from repro.workloads.generator import infinite_demand
 from repro.workloads.scenarios import NetworkScenario
 
@@ -39,6 +40,7 @@ class Experiment1Config(object):
         demand_sampler=None,
         seed=0,
         validate=True,
+        engine=None,
     ):
         self.session_counts = tuple(session_counts)
         self.sizes = tuple(sizes)
@@ -47,6 +49,10 @@ class Experiment1Config(object):
         self.demand_sampler = demand_sampler or infinite_demand()
         self.seed = seed
         self.validate = validate
+        # "sequential" (default) | "sharded[:K]" | "sharded:K/parallel";
+        # validated eagerly so a bad knob fails before any run starts.
+        parse_engine(engine)
+        self.engine = engine
 
     def scenarios(self):
         return [
@@ -112,15 +118,20 @@ def run_experiment1_case(scenario, session_count, config=None):
     """Run one (scenario, session count) cell and return its :class:`Experiment1Row`."""
     config = config or Experiment1Config()
     runner = ExperimentRunner(
-        ScenarioSpec.from_network_scenario(scenario, validate=config.validate),
+        ScenarioSpec.from_network_scenario(
+            scenario, validate=config.validate, engine=config.engine
+        ),
         generator_seed=config.seed + session_count,
     )
-    runner.populate(
-        session_count,
-        join_window=(0.0, config.join_window),
-        demand_sampler=config.demand_sampler,
-    )
-    measurement = runner.checkpoint("mass join of %d sessions" % session_count)
+    try:
+        runner.populate(
+            session_count,
+            join_window=(0.0, config.join_window),
+            demand_sampler=config.demand_sampler,
+        )
+        measurement = runner.checkpoint("mass join of %d sessions" % session_count)
+    finally:
+        runner.close()
     return Experiment1Row(
         scenario_label=scenario.label,
         session_count=session_count,

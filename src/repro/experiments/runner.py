@@ -67,10 +67,11 @@ class ScenarioSpec(object):
             single-queue :class:`~repro.simulator.simulation.Simulator`),
             ``"sharded:K"`` (K event-queue shards advancing in lockstep
             epochs, deterministic and bit-identical in final allocations to
-            sequential), or ``"sharded:K/parallel"`` (one worker process per
-            shard; one-shot runs only -- schedule the whole workload, then a
-            single run to quiescence).  Incompatible with
-            ``protocol_factory``.
+            sequential), or ``"sharded:K/parallel"`` (a persistent pool of
+            one worker process per shard, resident across runs: multi-phase
+            churn where each phase is scheduled after the previous phase's
+            quiescence runs on all cores, sharing the serial engines'
+            bit-exact schedule).  Incompatible with ``protocol_factory``.
     """
 
     def __init__(
@@ -282,7 +283,17 @@ class ExperimentRunner(object):
         return self.install(specs)
 
     def install(self, specs):
-        """Install pre-generated session specs and track their ids as active."""
+        """Install pre-generated session specs and track their ids as active.
+
+        Specs travel as broadcastable
+        :class:`~repro.core.actions.JoinAction` records through the
+        protocol's engine-transparent entry point (via
+        :meth:`~repro.workloads.generator.WorkloadGenerator.install`), so
+        installing works identically before a run, between phases on a
+        serial engine, and between phases of a persistent-worker parallel
+        run (where the batch is replayed in every worker).  Returns
+        ``{session_id: session}``.
+        """
         installed = self.generator.install(self.protocol, specs)
         self.active_ids.extend(installed)
         return installed
@@ -309,9 +320,16 @@ class ExperimentRunner(object):
         return outcome
 
     def run_phases(self, phases, demand_sampler=None, inter_phase_gap=0.0):
-        """Run consecutive churn phases, each to quiescence; returns the outcomes."""
+        """Run consecutive churn phases, each to quiescence; returns the outcomes.
+
+        The first phase starts at the simulator's current time (so phases
+        scheduled after an earlier checkpoint are real future schedules on
+        every engine, rather than relying on past-dated API calls executing
+        immediately); each subsequent phase starts at the previous phase's
+        observed quiescence time plus ``inter_phase_gap``.
+        """
         outcomes = []
-        start_time = 0.0
+        start_time = self.protocol.simulator.now
         for phase in phases:
             outcome = self.run_phase(
                 phase, start_time=start_time, demand_sampler=demand_sampler
@@ -329,6 +347,17 @@ class ExperimentRunner(object):
     def run_to_quiescence(self):
         """Run until the event queue drains; returns the quiescence time."""
         return self.protocol.run_until_quiescent()
+
+    def close(self):
+        """Release engine resources (persistent parallel workers, if any).
+
+        Optional -- the worker pool is also reaped when the engine is garbage
+        collected -- but deterministic teardown is friendlier in loops over
+        many runners.  Idempotent; serial engines ignore it.
+        """
+        shutdown = getattr(self.protocol.simulator, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
 
     # ---------------------------------------------------------------- measuring
 

@@ -32,22 +32,55 @@ mailbox ordering, and therefore produce bit-identical runs:
   :class:`~repro.simulator.simulation.Simulator` supports (horizons, stop
   conditions, limits, tracers, multi-phase workloads) and is what the
   cross-engine determinism tests pin down.
-* **parallel** (``parallel=True``, POSIX only): the engine forks one worker
-  process per lane; each worker executes only its own lane and ships its
-  outboxes back through a pipe at every epoch barrier.  The run is one-shot:
-  everything must be scheduled before ``run_until_quiescent`` is called, and
-  afterwards the driver's protocol state is refreshed through the
-  export/import hooks (see below) so allocations, packet counts and
-  validation keep working.  This is the multi-core path for paper-scale
-  topologies.
+* **parallel** (``parallel=True``, POSIX only): the engine keeps a
+  *persistent worker pool* -- one forked process per lane -- resident across
+  runs.  Workers are forked once, at the first parallel run, and then served
+  commands over pipes (see the command protocol below), so multi-phase
+  workloads where phase N+1's schedule depends on phase N's observed
+  quiescence time execute on all cores without ever falling back to serial.
+  This is the multi-core path for paper-scale topologies.
 
-The engine is protocol-agnostic: cross-shard payloads are opaque picklable
-*descriptors* handed to ``remote_handler`` at delivery time, and the parallel
-mode's state refresh goes through three optional hooks (``before_fork``,
-``export_state``, ``import_state``) that
-:meth:`repro.core.protocol.BNeckProtocol.use_shard_plan` wires up.
+The worker command protocol
+---------------------------
+
+Each worker owns exactly one lane and answers five commands:
+
+``BROADCAST_ACTIONS``
+    Replay a batch of opaque *action* blobs through ``action_handler`` (the
+    protocol installs one that applies joins/leaves/changes).  Every process
+    -- the driver included -- replays the same batch through the same code
+    path, so all copies of a lane's queue receive the same pushes in the same
+    relative order.  No reply; pipe FIFO ordering guarantees the actions are
+    applied before any later run command.
+``RUN_UNTIL`` / ``RUN_TO_QUIESCENCE``
+    One epoch step: push this epoch's inbox (driver-merged, source-lane
+    order), drain the lane up to ``epoch_end`` (``RUN_UNTIL`` additionally
+    caps at the run's horizon), reply with the per-target outboxes, the
+    post-drain peek and the lane's event count.  The peek doubles as the
+    lane's *idle token*: global quiescence is detected by the driver as the
+    all-lanes-idle exchange where every token is ``None`` and no mail is in
+    flight.
+``EXPORT_STATE``
+    End-of-run synchronization: flush the lane's bookkeeping timers, export
+    the protocol state delta through ``export_state``, re-baseline the delta
+    counters (``before_fork``), and reply with the lane summary.  The driver
+    folds the summaries back through ``import_state``, so allocations, packet
+    counts and validation work transparently between runs.
+``SHUTDOWN``
+    Exit the worker loop.  Workers also exit on EOF, so a driver that simply
+    goes away never leaves orphans.
+
+Cross-shard payloads are opaque picklable *descriptors* handed to
+``remote_handler`` at delivery time; outboxes crossing a pipe are
+batch-encoded through the optional ``encode_outbox`` / ``decode_inbox``
+hooks (the protocol installs a flat-tuple packet codec, see
+:mod:`repro.core.packets`), so an entire epoch's mail pickles as one list of
+primitive tuples.  All hooks are installed by
+:meth:`repro.core.protocol.BNeckProtocol.use_shard_plan`.
 """
 
+import heapq
+import itertools
 import os
 import traceback
 from functools import partial
@@ -60,35 +93,61 @@ SEQUENTIAL = "sequential"
 SHARDED = "sharded"
 DEFAULT_SHARDS = 4
 
+# Worker command protocol (see the module docstring).
+BROADCAST_ACTIONS = "BROADCAST_ACTIONS"
+RUN_UNTIL = "RUN_UNTIL"
+RUN_TO_QUIESCENCE = "RUN_TO_QUIESCENCE"
+EXPORT_STATE = "EXPORT_STATE"
+SHUTDOWN = "SHUTDOWN"
+
+_ENGINE_GRAMMAR = "'sequential', 'sharded' or 'sharded:K[/parallel]' with K >= 1"
+
 
 def parse_engine(engine):
     """Parse an engine knob into ``(kind, shards, parallel)``.
 
     Accepted values: ``"sequential"``, ``"sharded"`` (4 shards),
-    ``"sharded:K"``, and ``"sharded:K/parallel"`` (fork one worker process
-    per shard; falls back to the serial sharded mode where ``os.fork`` is
-    unavailable).
+    ``"sharded:K"``, and ``"sharded:K/parallel"`` (one persistent worker
+    process per shard; falls back to the serial sharded mode where
+    ``os.fork`` is unavailable).  Anything else -- a zero or negative shard
+    count, a non-integer count, trailing junk -- is rejected with an error
+    naming the expected grammar.
     """
     if engine is None or engine == SEQUENTIAL:
         return (SEQUENTIAL, 1, False)
-    head, _, tail = engine.partition(":")
+    if not isinstance(engine, str):
+        raise ValueError(
+            "engine must be a string or None, got %r (expected %s)"
+            % (engine, _ENGINE_GRAMMAR)
+        )
+    head, separator, tail = engine.partition(":")
     if head != SHARDED:
         raise ValueError(
-            "unknown engine %r (expected %r, %r or 'sharded:K[/parallel]')"
-            % (engine, SEQUENTIAL, SHARDED)
+            "unknown engine %r (expected %s)" % (engine, _ENGINE_GRAMMAR)
         )
     parallel = False
     if tail.endswith("/parallel"):
         parallel = True
         tail = tail[: -len("/parallel")]
+    if separator and not tail:
+        raise ValueError(
+            "engine %r is missing its shard count after ':' (expected %s)"
+            % (engine, _ENGINE_GRAMMAR)
+        )
     shards = DEFAULT_SHARDS
     if tail:
         try:
             shards = int(tail)
         except ValueError:
-            raise ValueError("bad shard count in engine %r" % (engine,))
+            raise ValueError(
+                "bad shard count %r in engine %r (expected %s)"
+                % (tail, engine, _ENGINE_GRAMMAR)
+            ) from None
     if shards < 1:
-        raise ValueError("engine %r needs at least one shard" % (engine,))
+        raise ValueError(
+            "engine %r needs at least one shard, got %d (expected %s)"
+            % (engine, shards, _ENGINE_GRAMMAR)
+        )
     return (SHARDED, shards, parallel)
 
 
@@ -102,6 +161,8 @@ class ShardLane(object):
         "last_event_time",
         "events_processed",
         "instant_callbacks",
+        "timers",
+        "timer_counter",
         "random",
     )
 
@@ -112,6 +173,11 @@ class ShardLane(object):
         self.last_event_time = 0.0
         self.events_processed = 0
         self.instant_callbacks = []
+        # Bookkeeping timers: (due, sequence, callback) heap entries that fire
+        # *between* events and never touch the event queue (see
+        # ShardedSimulator.schedule_bookkeeping).
+        self.timers = []
+        self.timer_counter = itertools.count()
         self.random = random_source
 
     def __repr__(self):
@@ -122,6 +188,118 @@ class ShardLane(object):
         )
 
 
+class _WorkerPool(object):
+    """The persistent per-lane worker processes of a parallel sharded run.
+
+    One process per lane, forked from the driver and kept resident across
+    runs; the driver talks to each worker over a dedicated pipe.  Every pipe
+    failure (a worker that died mid-epoch, a broken send) surfaces as a
+    :class:`RuntimeError` naming the lane instead of a hang, and
+    :meth:`shutdown` closes the pipes *before* reaping so a worker blocked on
+    a full reply pipe unblocks (EPIPE) rather than deadlocking the driver.
+    """
+
+    def __init__(self, engine):
+        import multiprocessing
+
+        self.num_shards = engine.num_shards
+        self.conns = []
+        self.pids = []
+        for index in range(self.num_shards):
+            parent_conn, child_conn = multiprocessing.Pipe()
+            pid = os.fork()
+            if pid == 0:
+                status = 1
+                try:
+                    parent_conn.close()
+                    for earlier in self.conns:
+                        earlier.close()
+                    engine._worker_main(index, child_conn)
+                    status = 0
+                except BaseException:
+                    try:
+                        child_conn.send(("error", traceback.format_exc()))
+                    except Exception:
+                        pass
+                finally:
+                    try:
+                        child_conn.close()
+                    finally:
+                        os._exit(status)
+            child_conn.close()
+            self.conns.append(parent_conn)
+            self.pids.append(pid)
+
+    def _guarded_send(self, lane_index, sender, payload):
+        try:
+            sender(payload)
+        except (OSError, ValueError) as exc:
+            raise RuntimeError(
+                "sharded worker for lane %d died (pipe send failed: %s); "
+                "the engine can no longer run" % (lane_index, exc)
+            ) from exc
+
+    def send(self, lane_index, message):
+        self._guarded_send(lane_index, self.conns[lane_index].send, message)
+
+    def broadcast(self, message):
+        """Send one message to every worker, pickling it exactly once."""
+        from multiprocessing.reduction import ForkingPickler
+
+        payload = bytes(ForkingPickler.dumps(message))
+        for lane_index in range(self.num_shards):
+            self._guarded_send(
+                lane_index, self.conns[lane_index].send_bytes, payload
+            )
+
+    def recv(self, lane_index):
+        """Receive one reply from a worker, surfacing failures as typed errors."""
+        try:
+            message = self.conns[lane_index].recv()
+        except EOFError as exc:
+            raise RuntimeError(
+                "sharded worker for lane %d died mid-epoch (EOF on pipe); "
+                "a crashed or killed worker cannot be recovered" % (lane_index,)
+            ) from exc
+        kind = message[0]
+        if kind == "error":
+            raise RuntimeError(
+                "sharded worker for lane %d failed:\n%s" % (lane_index, message[1])
+            )
+        if kind == "limit":
+            raise SimulationLimitExceeded(
+                message[1], events_processed=message[2], current_time=message[3]
+            )
+        return message[1]
+
+    def shutdown(self):
+        """Stop every worker: best-effort SHUTDOWN, close pipes, reap."""
+        for conn in self.conns:
+            try:
+                conn.send((SHUTDOWN,))
+            except Exception:
+                pass
+        for conn in self.conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for pid in self.pids:
+            try:
+                os.waitpid(pid, 0)
+            except OSError:
+                pass
+        self.conns = []
+        self.pids = []
+
+    def __del__(self):
+        try:
+            if self.pids:
+                self.shutdown()
+        except Exception:
+            pass
+
+
 class ShardedSimulator(object):
     """Drop-in simulation engine executing K event-queue shards in lockstep.
 
@@ -130,13 +308,20 @@ class ShardedSimulator(object):
             shard count and the lookahead).
         lookahead: optional epoch-width override in seconds; defaults to the
             plan's cut-link lookahead.  Must not exceed it.
-        parallel: execute lanes in forked worker processes (one-shot runs
-            only; POSIX only, silently falls back to serial elsewhere).
+        parallel: execute lanes in a persistent pool of forked worker
+            processes (POSIX only, silently falls back to serial elsewhere).
+            Workers stay resident across runs, so multi-phase workloads --
+            broadcast actions, run, broadcast the next phase -- stay on all
+            cores.
         seed: base seed for the per-lane forked random streams.
         max_events / max_time: safety caps, as on
-            :class:`~repro.simulator.simulation.Simulator` (serial mode only
-            for parallel runs they must be unset).
-        tracer: optional per-event tracer hook (serial mode only).
+            :class:`~repro.simulator.simulation.Simulator`.  Serial runs
+            check them per event; parallel runs check ``max_time`` before
+            every epoch and ``max_events`` at epoch barriers (plus a
+            per-worker in-epoch backstop inherited at fork time), so parallel
+            limits trigger at epoch granularity.
+        tracer: optional per-event tracer hook (serial mode only; the
+            protocol-level packet tracer works in both modes).
     """
 
     def __init__(self, plan, lookahead=None, parallel=False, seed=0,
@@ -163,15 +348,23 @@ class ShardedSimulator(object):
         self._idle_now = 0.0
         self._events_total = 0
         self._stop_requested = False
-        self._parallel_done = False
         self.max_events = max_events
         self.max_time = max_time
         self.tracer = tracer
+        # Persistent-pool state (parallel mode).
+        self._pool = None
+        self._pool_retired = False
+        self._remote_peeks = None
+        self._remote_pending = 0
+        self._in_broadcast = False
         # Protocol-provided hooks.
         self.remote_handler = None   # descriptor -> None, delivers a message
+        self.action_handler = None   # actions blob -> result, replays a batch
         self.before_fork = None      # () -> None, snapshot counter baselines
         self.export_state = None     # shard_index -> picklable blob
         self.import_state = None     # [blob, ...] -> None, refresh the driver
+        self.encode_outbox = None    # [(time, descriptor, tag)] -> wire entries
+        self.decode_inbox = None     # wire entries -> [(time, descriptor, tag)]
 
     # ------------------------------------------------------------------ clock
 
@@ -194,11 +387,28 @@ class ShardedSimulator(object):
     @property
     def pending_events(self):
         queued = sum(len(lane.queue) for lane in self.lanes)
-        return queued + sum(len(outbox) for outbox in self._outboxes)
+        pending = queued + sum(len(outbox) for outbox in self._outboxes)
+        if self._pool is not None:
+            # Live workers own the authoritative queues: their post-sync
+            # backlog plus whatever the driver mirrored since the last sync
+            # (broadcast actions land in both copies, so the two parts are
+            # disjoint).
+            pending += self._remote_pending
+        return pending
 
     @property
     def pending_instant_callbacks(self):
         return sum(len(lane.instant_callbacks) for lane in self.lanes)
+
+    @property
+    def pending_bookkeeping(self):
+        """Bookkeeping timers not yet fired (they never block quiescence)."""
+        return sum(len(lane.timers) for lane in self.lanes)
+
+    @property
+    def workers_live(self):
+        """True once the persistent worker pool has been forked."""
+        return self._pool is not None
 
     # ------------------------------------------------------------- scheduling
 
@@ -206,10 +416,22 @@ class ShardedSimulator(object):
         lane = self._current
         return self.lanes[0] if lane is None else lane
 
+    def _check_driver_scheduling(self):
+        # With live workers the driver's queues are mirrors: every push must
+        # also happen in the workers, which only the action-broadcast path
+        # guarantees.  A direct schedule would silently never execute.
+        if self._pool is not None and self._current is None and not self._in_broadcast:
+            raise RuntimeError(
+                "cannot schedule directly on a driver with live persistent "
+                "workers; describe the work as session actions and broadcast "
+                "them (see ShardedSimulator.broadcast_actions)"
+            )
+
     def schedule(self, delay, callback, tag=None):
         """Schedule on the executing lane (lane 0 when idle), after ``delay``."""
         if delay < 0:
             raise ValueError("delay must be non-negative, got %r" % delay)
+        self._check_driver_scheduling()
         lane = self._scheduling_lane()
         return lane.queue.push(self.now + delay, callback, tag=tag)
 
@@ -219,6 +441,7 @@ class ShardedSimulator(object):
             raise ValueError(
                 "cannot schedule in the past (now=%r, requested=%r)" % (self.now, time)
             )
+        self._check_driver_scheduling()
         lane = self._scheduling_lane()
         return lane.queue.push(time, callback, tag=tag)
 
@@ -226,6 +449,7 @@ class ShardedSimulator(object):
         """Bare non-cancellable callback on the executing lane (fast path)."""
         if delay < 0:
             raise ValueError("delay must be non-negative, got %r" % delay)
+        self._check_driver_scheduling()
         lane = self._scheduling_lane()
         lane.queue.push_callback(self.now + delay, callback, tag=tag)
 
@@ -248,7 +472,25 @@ class ShardedSimulator(object):
                 "cannot schedule on shard %d while shard %d is executing; "
                 "use post_remote for cross-shard work" % (shard, lane.index)
             )
+        if lane is None:
+            self._check_driver_scheduling()
         return self.lanes[shard].queue.push(time, callback, tag=tag)
+
+    def schedule_bookkeeping(self, delay, callback):
+        """Schedule an out-of-band *bookkeeping timer* on the executing lane.
+
+        Timers fire ``callback(due)`` between events -- always before any
+        event of the same lane with ``time >= due`` executes, and at the
+        latest when a run ends -- but they are not simulation events: they
+        never appear in ``events_processed``, never delay quiescence or
+        stretch a reported phase duration, and must not schedule simulation
+        work.  The protocol uses them for windowed ``API.Rate`` flushes.
+        """
+        if delay < 0:
+            raise ValueError("delay must be non-negative, got %r" % delay)
+        self._check_driver_scheduling()
+        lane = self._scheduling_lane()
+        heapq.heappush(lane.timers, (self.now + delay, next(lane.timer_counter), callback))
 
     def post_remote(self, shard, delay, descriptor, tag=None):
         """Buffer a cross-shard delivery for the next epoch barrier.
@@ -265,6 +507,8 @@ class ShardedSimulator(object):
             raise RuntimeError("post_remote needs a remote_handler installed")
         lane = self._current
         if lane is None or lane.index == shard:
+            if lane is None:
+                self._check_driver_scheduling()
             queue = self.lanes[shard].queue
             queue.push_callback(self.now + delay, partial(handler, descriptor), tag=tag)
             return
@@ -291,8 +535,56 @@ class ShardedSimulator(object):
         event.cancelled = True
 
     def stop(self):
-        """Request that the current run returns before the next event."""
+        """Request that the current run returns before the next event.
+
+        Serial runs honour the request between events, as the sequential
+        engine does.  In a parallel run the flag is observed by the lane that
+        executes the ``stop()`` (each worker resets it at the start of every
+        epoch, so a latched flag can never wedge later epochs); the worker
+        finishes nothing further in that epoch and reports the stop in its
+        reply, and the driver ends the run at the epoch barrier.
+        """
         self._stop_requested = True
+
+    # ----------------------------------------------------- action broadcasting
+
+    def broadcast_actions(self, actions):
+        """Replay an action batch everywhere: live workers first, then locally.
+
+        ``actions`` is an opaque picklable blob understood by the installed
+        ``action_handler``.  With a live pool the batch is sent to every
+        worker (applied there before any later run command thanks to pipe
+        FIFO ordering) and then replayed on the driver, so all copies of each
+        lane's queue receive the same pushes in the same relative order.
+        Without a pool -- serial mode, or parallel before the first run --
+        this is simply a local replay.  Returns the local handler's result.
+        """
+        handler = self.action_handler
+        if handler is None:
+            raise RuntimeError("broadcast_actions needs an action_handler installed")
+        pool = self._pool
+        if pool is not None:
+            try:
+                pool.broadcast((BROADCAST_ACTIONS, actions))
+            except BaseException:
+                # Even a KeyboardInterrupt mid-broadcast leaves the workers
+                # divergent (some got the batch, some did not): retire the
+                # pool rather than risk silently wrong later runs.
+                self.shutdown()
+                raise
+        self._in_broadcast = True
+        try:
+            return handler(actions)
+        except BaseException:
+            if pool is not None:
+                # The workers received (and will apply) the full batch while
+                # the driver's mirror stopped mid-replay: the two sides have
+                # diverged, so fail fast and coherently instead of letting a
+                # later command surface a confusing worker error.
+                self.shutdown()
+            raise
+        finally:
+            self._in_broadcast = False
 
     # ---------------------------------------------------------------- running
 
@@ -318,6 +610,23 @@ class ShardedSimulator(object):
         for callback in callbacks:
             callback()
 
+    def _fire_lane_timers(self, lane, cap):
+        """Fire the lane's bookkeeping timers with ``due <= cap`` (in order)."""
+        timers = lane.timers
+        outer = self._current
+        self._current = lane
+        try:
+            while timers and (cap is None or timers[0][0] <= cap):
+                due, _sequence, callback = heapq.heappop(timers)
+                callback(due)
+        finally:
+            self._current = outer
+
+    def _flush_all_timers(self, cap):
+        for lane in self.lanes:
+            if lane.timers:
+                self._fire_lane_timers(lane, cap)
+
     def _check_limits(self, next_time):
         if self.max_events is not None and self._events_total >= self.max_events:
             raise SimulationLimitExceeded(
@@ -342,11 +651,14 @@ class ShardedSimulator(object):
         callbacks exactly as the sequential engine does.  The trailing flush
         at the boundary is safe: all future deliveries into this lane land at
         ``>= exclusive_end``, strictly after the lane's cursor, so the current
-        instant can never reopen.
+        instant can never reopen.  Bookkeeping timers fire before any event
+        with ``time >= due`` executes (deferral past an epoch boundary is
+        harmless: only this lane's events can touch this lane's buffers).
         """
         queue = lane.queue
         constrained = self.max_events is not None or self.max_time is not None
         tracer = self.tracer
+        timers = lane.timers
         self._current = lane
         try:
             while True:
@@ -367,6 +679,8 @@ class ShardedSimulator(object):
                     return
                 if inclusive_cap is not None and next_time > inclusive_cap:
                     return
+                if timers and timers[0][0] <= next_time:
+                    self._fire_lane_timers(lane, next_time)
                 if constrained:
                     self._check_limits(next_time)
                 entry = queue.pop_entry()
@@ -409,176 +723,271 @@ class ShardedSimulator(object):
                 if self._stop_requested:
                     break
 
-    def _ensure_runnable(self):
-        if self._parallel_done:
-            raise RuntimeError(
-                "this ShardedSimulator already completed a parallel run; "
-                "parallel sharded runs are one-shot (build a fresh engine)"
-            )
+    def _use_pool(self):
+        return self.parallel and self.num_shards > 1 and hasattr(os, "fork")
 
     def run(self, until=None, stop_condition=None):
-        """Run the sharded simulation (serial lockstep; see class docstring).
+        """Run the sharded simulation up to a horizon (or until it drains).
 
         Semantics mirror :meth:`repro.simulator.simulation.Simulator.run`:
         events up to and including ``until`` are processed, and the clock is
-        left at ``until`` when a horizon is given and the run was not stopped.
+        left at ``until`` when a horizon is given and the run was not
+        stopped.  In parallel mode the run executes on the persistent worker
+        pool (``stop_condition`` needs the serial mode: a predicate over
+        driver state cannot observe worker progress).
         """
-        self._ensure_runnable()
         self._stop_requested = False
+        if self._use_pool():
+            if stop_condition is not None:
+                raise RuntimeError(
+                    "stop_condition is not supported in parallel sharded "
+                    "runs; use the serial sharded mode"
+                )
+            return self._run_parallel(until)
         self._run_serial(until, stop_condition)
         last = max(lane.last_event_time for lane in self.lanes)
         self._idle_now = max(self._idle_now, last)
-        if until is not None and not self._stop_requested:
-            self._idle_now = max(self._idle_now, until)
+        if not self._stop_requested:
+            if until is not None:
+                self._idle_now = max(self._idle_now, until)
+            self._flush_all_timers(until)
         return self._idle_now
 
     def run_until_quiescent(self):
         """Run until every lane's queue drains; returns the quiescence time.
 
-        In parallel mode this forks one worker per lane (one-shot; see the
-        class docstring), falling back to the bit-identical serial schedule
-        when forking is unavailable.
+        In parallel mode this runs on the persistent worker pool (forked at
+        the first parallel run and kept resident), falling back to the
+        bit-identical serial schedule when forking is unavailable.
         """
-        self._ensure_runnable()
         # A stale stop() from an earlier interrupted run must not end this
         # drain early (matching Simulator.run_until_quiescent).
         self._stop_requested = False
-        if self.parallel and self.num_shards > 1 and hasattr(os, "fork"):
-            return self._run_parallel()
+        if self._use_pool():
+            return self._run_parallel(None)
         self._run_serial(None, None)
         last = max(lane.last_event_time for lane in self.lanes)
         self._idle_now = max(self._idle_now, last)
+        self._flush_all_timers(None)
         return self._idle_now
 
-    # ------------------------------------------------------- parallel (fork)
+    # -------------------------------------------------- parallel (worker pool)
 
-    def _run_parallel(self):
+    def shutdown(self):
+        """Terminate the persistent worker pool (idempotent).
+
+        After a shutdown the driver's protocol state reflects the last
+        completed sync; the workers' authoritative queues and link states are
+        gone, so the engine cannot run parallel epochs anymore -- a later
+        parallel run raises instead of silently re-forking from the driver's
+        incomplete mirror.  A shutdown before the first parallel run (e.g.
+        ``ExperimentRunner.close`` on an engine that never ran) retires
+        nothing.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            self._pool_retired = True
+            pool.shutdown()
+
+    def _start_pool(self):
+        if self._pool_retired:
+            raise RuntimeError(
+                "this ShardedSimulator's persistent worker pool has been "
+                "shut down (explicitly, or after a worker failure/limit "
+                "error); the driver only mirrors the last sync, so a new "
+                "pool cannot be seeded -- build a fresh engine"
+            )
         if self.remote_handler is None:
             raise RuntimeError("parallel sharded runs need a remote_handler")
-        if self.max_events is not None or self.max_time is not None or self.tracer is not None:
-            raise RuntimeError(
-                "max_events/max_time/tracer are not supported in parallel "
-                "sharded runs; use the serial sharded mode"
-            )
         if self.before_fork is not None:
             self.before_fork()
-        import multiprocessing
+        self._pool = _WorkerPool(self)
 
+    def _merged_peeks(self):
+        """Initial per-lane peeks for a run: last synced worker backlog merged
+        with the driver-side mirror of everything broadcast since."""
+        peeks = []
+        for index, lane in enumerate(self.lanes):
+            local = lane.queue.peek_time()
+            remote = None if self._remote_peeks is None else self._remote_peeks[index]
+            if local is None:
+                peeks.append(remote)
+            elif remote is None:
+                peeks.append(local)
+            else:
+                peeks.append(min(local, remote))
+        return peeks
+
+    def _run_parallel(self, until):
+        if self.tracer is not None:
+            raise RuntimeError(
+                "engine-level tracers are not supported in parallel sharded "
+                "runs; use the serial sharded mode (the protocol-level packet "
+                "tracer works in both)"
+            )
         shard_count = self.num_shards
-        conns = []
-        pids = []
-        for index in range(shard_count):
-            parent_conn, child_conn = multiprocessing.Pipe()
-            pid = os.fork()
-            if pid == 0:
-                status = 1
-                try:
-                    parent_conn.close()
-                    for earlier in conns:
-                        earlier.close()
-                    self._worker_loop(index, child_conn)
-                    status = 0
-                except BaseException:
-                    try:
-                        child_conn.send(("error", traceback.format_exc()))
-                    except Exception:
-                        pass
-                finally:
-                    try:
-                        child_conn.close()
-                    finally:
-                        os._exit(status)
-            child_conn.close()
-            conns.append(parent_conn)
-            pids.append(pid)
-
         try:
-            # One round trip per epoch: the driver knows every lane's
-            # post-drain peek (from the previous replies) and holds the
-            # undelivered mail, so ``t_min`` -- the earliest event anywhere --
-            # is computable without polling the workers again.
+            if self._pool is None:
+                self._start_pool()
+                peeks = [lane.queue.peek_time() for lane in self.lanes]
+            else:
+                peeks = self._merged_peeks()
+            pool = self._pool
+            command = RUN_TO_QUIESCENCE if until is None else RUN_UNTIL
             inboxes = [[] for _ in range(shard_count)]
-            peeks = [lane.queue.peek_time() for lane in self.lanes]
-            while True:
+            stopped = False
+            while not stopped:
                 t_min = min((t for t in peeks if t is not None), default=None)
                 for inbox in inboxes:
-                    for time, _descriptor, _tag in inbox:
-                        if t_min is None or time < t_min:
-                            t_min = time
+                    for entry in inbox:
+                        if t_min is None or entry[0] < t_min:
+                            t_min = entry[0]
                 if t_min is None:
                     break
+                if until is not None and t_min > until:
+                    break
+                if self.max_events is not None or self.max_time is not None:
+                    # Epoch-granularity enforcement (the driver is idle, so
+                    # self.now is the last synced clock); workers keep their
+                    # inherited per-event checks as an in-epoch backstop.
+                    self._check_limits(t_min)
                 epoch_end = t_min + self.lookahead
-                for conn, inbox in zip(conns, inboxes):
-                    conn.send(("step", inbox, epoch_end))
+                for index in range(shard_count):
+                    pool.send(index, (command, inboxes[index], epoch_end, until))
                 inboxes = [[] for _ in range(shard_count)]
-                replies = [self._recv(conn) for conn in conns]
                 peeks = []
-                for worker_outboxes, peek in replies:
+                for index in range(shard_count):
+                    worker_outboxes, peek, lane_events, lane_stopped = pool.recv(index)
                     peeks.append(peek)
+                    stopped = stopped or lane_stopped
+                    lane = self.lanes[index]
+                    self._events_total += lane_events - lane.events_processed
+                    lane.events_processed = lane_events
                     for target in range(shard_count):
                         inboxes[target].extend(worker_outboxes[target])
-            for conn in conns:
-                conn.send(("finish",))
-            summaries = [self._recv(conn) for conn in conns]
-        finally:
-            for conn in conns:
-                try:
-                    conn.close()
-                except OSError:
-                    pass
-            for pid in pids:
-                os.waitpid(pid, 0)
+            # A horizon or stop() exit can leave undelivered mail; push it
+            # into the worker queues now (a zero-width delivery step) so it
+            # takes its sequence slots before any later action broadcast --
+            # exactly the serial barrier's ordering.
+            if any(inboxes):
+                for index in range(shard_count):
+                    pool.send(index, (command, inboxes[index], 0.0, until))
+                for index in range(shard_count):
+                    pool.recv(index)
+            # End-of-run synchronization (EXPORT_STATE): flush bookkeeping
+            # timers (not on stopped runs: they are paused, not drained),
+            # gather per-lane summaries and protocol state deltas.
+            for index in range(shard_count):
+                pool.send(index, (EXPORT_STATE, until, not stopped))
+            summaries = [pool.recv(index) for index in range(shard_count)]
+        except BaseException:
+            # Any abnormal exit -- a worker failure, a limit error, or a
+            # KeyboardInterrupt between send and recv -- leaves in-flight
+            # mail and un-consumed replies in the pipes; the pool cannot be
+            # reused, so tear it down (mirroring the one-shot engine's
+            # `finally` guarantees).
+            self.shutdown()
+            raise
 
         self._events_total = 0
+        self._remote_peeks = []
+        self._remote_pending = 0
         for lane, summary in zip(self.lanes, summaries):
             lane.events_processed = summary["events"]
             lane.last_event_time = summary["last_event_time"]
             lane.cursor = summary["cursor"]
             self._events_total += summary["events"]
-            # The driver never executed anything: its queues still hold every
-            # event the workers consumed.  Drop them so quiescence holds.
+            self._remote_peeks.append(summary["peek"])
+            self._remote_pending += summary["pending"]
+            # The driver executed nothing: its queue mirrors hold every event
+            # the workers consumed (or still own).  Drop them; the synced
+            # peek/pending numbers describe the authoritative worker state.
             lane.queue.clear()
             lane.instant_callbacks = []
+            lane.timers = []
         self._outboxes = [[] for _ in range(shard_count)]
-        self._parallel_done = True
         self._idle_now = max(
             self._idle_now, max(lane.last_event_time for lane in self.lanes)
         )
+        if until is not None and not stopped:
+            self._idle_now = max(self._idle_now, until)
+        self._stop_requested = False
         if self.import_state is not None:
             self.import_state([summary["protocol"] for summary in summaries])
         return self._idle_now
 
-    @staticmethod
-    def _recv(conn):
-        message = conn.recv()
-        if message[0] == "error":
-            raise RuntimeError("sharded worker failed:\n%s" % message[1])
-        return message[1]
-
-    def _worker_loop(self, index, conn):
-        """The per-shard worker: serve step/finish requests until done.
+    def _worker_main(self, index, conn):
+        """The persistent per-shard worker: serve commands until shutdown.
 
         The worker inherited the full simulation state via fork but only ever
-        executes its own lane; every other lane's copy goes stale and is
-        ignored.  Inbox entries are pushed in the order the driver merged
-        them (source lane, then send order) -- the serial barrier's order.
+        executes its own lane; every other lane's copy goes stale (action
+        broadcasts keep it structurally consistent) and is never drained.
+        Inbox entries are pushed in the order the driver merged them (source
+        lane, then send order) -- the serial barrier's order.
         """
         lane = self.lanes[index]
         handler = self.remote_handler
+        decode = self.decode_inbox
+        encode = self.encode_outbox
         shard_count = self.num_shards
+        self._pool = None  # this process is a worker, not a driver
         while True:
-            message = conn.recv()
+            try:
+                message = conn.recv()
+            except EOFError:
+                return  # the driver went away; exit quietly
             kind = message[0]
-            if kind == "step":
-                # Deliver this epoch's mail (driver-merged order), drain the
-                # lane to the epoch end, return outboxes + post-drain peek.
-                for time, descriptor, tag in message[1]:
-                    lane.queue.push_callback(time, partial(handler, descriptor), tag=tag)
+            if kind == RUN_UNTIL or kind == RUN_TO_QUIESCENCE:
+                inbox, epoch_end, cap = message[1], message[2], message[3]
+                if decode is not None and inbox:
+                    inbox = decode(inbox)
+                for time, descriptor, tag in inbox:
+                    lane.queue.push_callback(
+                        time, partial(handler, descriptor), tag=tag
+                    )
                 self._outboxes = [[] for _ in range(shard_count)]
-                self._drain_lane(lane, message[2], None, None)
-                conn.send(("ok", (self._outboxes, lane.queue.peek_time())))
-            elif kind == "finish":
+                # Reset the stop flag per epoch: a stop() latched in an
+                # earlier epoch (workers never run the driver's run methods,
+                # which is where the serial engines reset it) must not make
+                # every later _drain_lane return without progress -- that
+                # would livelock the driver's epoch loop.
+                self._stop_requested = False
+                try:
+                    self._drain_lane(lane, epoch_end, cap, None)
+                except SimulationLimitExceeded as exc:
+                    # Ship the fields captured at raise time (the lane's
+                    # clock); recomputing here would read the worker's stale
+                    # idle clock, since _drain_lane already reset _current.
+                    conn.send(
+                        ("limit", str(exc), exc.events_processed, exc.current_time)
+                    )
+                    continue
+                outboxes = self._outboxes
+                if encode is not None:
+                    outboxes = [
+                        encode(entries) if entries else entries
+                        for entries in outboxes
+                    ]
+                conn.send(
+                    (
+                        "ok",
+                        (
+                            outboxes,
+                            lane.queue.peek_time(),
+                            lane.events_processed,
+                            self._stop_requested,
+                        ),
+                    )
+                )
+            elif kind == BROADCAST_ACTIONS:
+                self.action_handler(message[1])
+            elif kind == EXPORT_STATE:
+                cap = message[1]  # None = run drained: flush every timer
+                if lane.timers and message[2]:
+                    self._fire_lane_timers(lane, cap)
                 blob = None if self.export_state is None else self.export_state(index)
+                if self.before_fork is not None:
+                    self.before_fork()  # re-baseline the per-run export deltas
                 conn.send(
                     (
                         "ok",
@@ -586,13 +995,16 @@ class ShardedSimulator(object):
                             "events": lane.events_processed,
                             "last_event_time": lane.last_event_time,
                             "cursor": lane.cursor,
+                            "peek": lane.queue.peek_time(),
+                            "pending": len(lane.queue),
                             "protocol": blob,
                         },
                     )
                 )
+            elif kind == SHUTDOWN:
                 return
             else:
-                raise ValueError("unknown worker request %r" % (kind,))
+                raise ValueError("unknown worker command %r" % (kind,))
 
     def __repr__(self):
         return "ShardedSimulator(shards=%d, lookahead=%.3g, pending=%d, processed=%d%s)" % (
@@ -600,5 +1012,7 @@ class ShardedSimulator(object):
             self.lookahead,
             self.pending_events,
             self._events_total,
-            ", parallel" if self.parallel else "",
+            ", parallel (workers %s)" % ("live" if self._pool else "cold")
+            if self.parallel
+            else "",
         )

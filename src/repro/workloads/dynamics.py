@@ -6,9 +6,26 @@ and a mixed phase), each phase compressed into a one-millisecond window, and
 measures how long the protocol takes to become quiescent again.  A
 :class:`DynamicPhase` describes one such phase; :func:`apply_phase` schedules
 its actions on a protocol and reports a :class:`PhaseOutcome`.
+
+A phase's schedule is emitted as *broadcastable actions*
+(:mod:`repro.core.actions`), not pre-bound callbacks: :func:`phase_actions`
+resolves every random choice (who leaves, who changes, new demands, action
+times, join endpoints) against the generator's random streams on the driver,
+producing plain data records.  :func:`apply_phase` then hands the batch to the
+protocol's engine-transparent ``apply_actions`` entry point -- on the
+persistent-worker parallel engine the batch is replayed identically in every
+worker process, which is what lets multi-phase churn (phase N+1 scheduled
+after phase N's observed quiescence time) run on all cores.
 """
 
 import math
+
+from repro.core.actions import (
+    ChangeAction,
+    LeaveAction,
+    join_action_from_spec,
+    schedule_actions,
+)
 
 
 class DynamicPhase(object):
@@ -92,6 +109,62 @@ class PhaseOutcome(object):
         )
 
 
+def phase_actions(
+    generator,
+    phase,
+    active_ids,
+    start_time,
+    demand_sampler=None,
+    change_demand_sampler=None,
+):
+    """Resolve one churn phase into a broadcastable action batch.
+
+    Consumes the generator's random streams exactly as the historical
+    callback-scheduling implementation did (victim picks, then leave times,
+    then change times, then per-change demands, then join specs), so
+    fixed-seed schedules are bit-identical to earlier releases.
+
+    Returns ``(actions, joined_ids, left_ids, changed_ids, remaining_ids)``
+    where ``actions`` is ordered leaves, changes, joins -- the order they must
+    be applied in -- and ``remaining_ids`` are the previously active sessions
+    that did not leave.
+    """
+    if change_demand_sampler is None:
+        change_demand_sampler = demand_sampler
+    active_ids = list(active_ids)
+    window = (start_time, start_time + phase.window)
+
+    left_ids = generator.pick_sessions(active_ids, phase.leaves) if phase.leaves else []
+    left = set(left_ids)
+    remaining = [session_id for session_id in active_ids if session_id not in left]
+    changed_ids = generator.pick_sessions(remaining, phase.changes) if phase.changes else []
+
+    actions = []
+    for session_id, when in zip(left_ids, generator.random_times(len(left_ids), window)):
+        actions.append(LeaveAction(session_id, when))
+    for session_id, when in zip(changed_ids, generator.random_times(len(changed_ids), window)):
+        new_demand = generator.random_demand(change_demand_sampler)
+        if math.isinf(new_demand):
+            new_demand = generator.host_capacity
+        actions.append(ChangeAction(session_id, new_demand, when))
+
+    joined_ids = []
+    if phase.joins:
+        specs = generator.generate(
+            phase.joins,
+            join_window=window,
+            demand_sampler=demand_sampler,
+            prefix="%s-" % phase.name,
+        )
+        for spec in specs:
+            actions.append(
+                join_action_from_spec(spec, generator.host_capacity, generator.host_delay)
+            )
+        joined_ids = [spec.session_id for spec in specs]
+
+    return actions, joined_ids, left_ids, changed_ids, remaining
+
+
 def apply_phase(
     protocol,
     generator,
@@ -103,6 +176,11 @@ def apply_phase(
     run_to_quiescence=True,
 ):
     """Schedule one phase of churn on ``protocol`` and (optionally) run it out.
+
+    The phase is resolved into broadcastable actions by :func:`phase_actions`
+    and applied through the protocol's engine-transparent ``apply_actions``
+    entry point, so the same call works on the sequential, serial-sharded and
+    persistent-worker parallel engines.
 
     Args:
         protocol: a :class:`~repro.core.protocol.BNeckProtocol` (or a baseline
@@ -126,37 +204,20 @@ def apply_phase(
     """
     if start_time is None:
         start_time = protocol.simulator.now
-    if change_demand_sampler is None:
-        change_demand_sampler = demand_sampler
-    active_ids = list(active_ids)
-    window = (start_time, start_time + phase.window)
     packets_before = protocol.tracer.total
     # B-Neck counts delivered application callbacks; baselines have no such
     # counter and report 0.
     callbacks_before = getattr(protocol, "rate_callbacks", 0)
 
-    left_ids = generator.pick_sessions(active_ids, phase.leaves) if phase.leaves else []
-    remaining = [session_id for session_id in active_ids if session_id not in set(left_ids)]
-    changed_ids = generator.pick_sessions(remaining, phase.changes) if phase.changes else []
-
-    for session_id, when in zip(left_ids, generator.random_times(len(left_ids), window)):
-        protocol.leave(session_id, at=when)
-    for session_id, when in zip(changed_ids, generator.random_times(len(changed_ids), window)):
-        new_demand = generator.random_demand(change_demand_sampler)
-        if math.isinf(new_demand):
-            new_demand = generator.host_capacity
-        protocol.change(session_id, new_demand, at=when)
-
-    joined_ids = []
-    if phase.joins:
-        specs = generator.generate(
-            phase.joins,
-            join_window=window,
-            demand_sampler=demand_sampler,
-            prefix="%s-" % phase.name,
-        )
-        generator.install(protocol, specs)
-        joined_ids = [spec.session_id for spec in specs]
+    actions, joined_ids, left_ids, changed_ids, remaining = phase_actions(
+        generator,
+        phase,
+        active_ids,
+        start_time,
+        demand_sampler=demand_sampler,
+        change_demand_sampler=change_demand_sampler,
+    )
+    schedule_actions(protocol, actions)
 
     quiescence_time = start_time
     if run_to_quiescence:

@@ -12,6 +12,7 @@ and returning a maximum requested rate (possibly infinite).
 
 import math
 
+from repro.core.actions import join_action_from_spec, schedule_actions
 from repro.network.transit_stub import HOST_LINK_CAPACITY, HOST_LINK_DELAY, stub_routers
 from repro.simulator.random_source import RandomSource
 
@@ -130,25 +131,18 @@ class WorkloadGenerator(object):
     def install(self, protocol, specs):
         """Attach hosts, create the sessions and schedule their joins.
 
-        Returns ``{session_id: session}`` for the installed specs.
+        Specs are converted into :class:`~repro.core.actions.JoinAction`
+        records and applied through the protocol's engine-transparent entry
+        point (one code path with the persistent-parallel broadcast
+        machinery, so schedules stay bit-identical however a session is
+        installed).  Returns ``{session_id: session}`` for the installed
+        specs.
         """
-        installed = {}
-        for spec in specs:
-            source_host = self.network.attach_host(
-                spec.source_router, self.host_capacity, self.host_delay
-            )
-            destination_host = self.network.attach_host(
-                spec.destination_router, self.host_capacity, self.host_delay
-            )
-            session = protocol.create_session(
-                source_host.node_id,
-                destination_host.node_id,
-                demand=spec.demand,
-                session_id=spec.session_id,
-            )
-            protocol.join(session, at=spec.join_time)
-            installed[spec.session_id] = session
-        return installed
+        actions = [
+            join_action_from_spec(spec, self.host_capacity, self.host_delay)
+            for spec in specs
+        ]
+        return schedule_actions(protocol, actions)
 
     def populate(self, protocol, count, join_window=(0.0, 1e-3), demand_sampler=None, prefix="s"):
         """``generate`` + ``install`` in one call; returns ``{session_id: session}``."""

@@ -201,3 +201,65 @@ class TestWindowedBatching(object):
     def test_rejects_non_positive_window(self):
         with pytest.raises(ValueError):
             _single_link_protocol(notification_batch_window=0.0)
+
+    def test_windowed_flush_is_invisible_to_simulation_metrics(self):
+        """The flush is bookkeeping, not an event (ROADMAP follow-up).
+
+        A windowed run must report the same ``events_processed`` and the same
+        quiescence time as the equivalent per-instant run: the flush never
+        occupies an event-queue slot and never stretches a reported phase by
+        up to one window (the historical quirk of the event-based flush).
+        """
+
+        def run(**kwargs):
+            protocol, source, sink = _single_link_protocol(**kwargs)
+            protocol.open_session(source, sink, session_id="a")
+            quiescence = protocol.run_until_quiescent()
+            return protocol, quiescence
+
+        plain, plain_quiescence = run()
+        windowed, windowed_quiescence = run(notification_batch_window=1e-3)
+        assert windowed.simulator.events_processed == plain.simulator.events_processed
+        assert windowed_quiescence == plain_quiescence
+        assert windowed.simulator.pending_events == 0
+        assert windowed.simulator.pending_bookkeeping == 0
+        # The application still saw its rate, stamped at the window boundary.
+        application = windowed.application("a")
+        assert application.notification_count >= 1
+        assert application.notifications[-1].time >= windowed_quiescence
+
+    def test_windowed_flush_fires_even_past_the_last_event(self):
+        # The last rate update of a run typically lands mid-window: the flush
+        # boundary lies *after* the quiescence time, yet the application must
+        # still receive the final rate when the run drains.
+        protocol, source, sink = _single_link_protocol(notification_batch_window=1.0)
+        session, application = protocol.open_session(source, sink, session_id="a")
+        quiescence = protocol.run_until_quiescent()
+        assert quiescence < 1.0
+        assert application.current_rate == pytest.approx(100 * MBPS)
+        assert application.notifications[-1].time == pytest.approx(1.0)
+
+    def test_windowed_flush_does_not_trip_safety_caps(self):
+        network = single_link_topology(capacity=100 * MBPS, delay=microseconds(1))
+        from repro.simulator.simulation import Simulator
+
+        probe = BNeckProtocol(network)
+        source = network.attach_host("r0", 1000 * MBPS, microseconds(1))
+        sink = network.attach_host("r1", 1000 * MBPS, microseconds(1))
+        probe.open_session(source.node_id, sink.node_id, session_id="a")
+        probe.run_until_quiescent()
+        budget = probe.simulator.events_processed
+
+        capped_network = single_link_topology(capacity=100 * MBPS, delay=microseconds(1))
+        protocol = BNeckProtocol(
+            capped_network,
+            simulator=Simulator(max_events=budget),
+            notification_batch_window=1e-3,
+        )
+        capped_source = capped_network.attach_host("r0", 1000 * MBPS, microseconds(1))
+        capped_sink = capped_network.attach_host("r1", 1000 * MBPS, microseconds(1))
+        protocol.open_session(capped_source.node_id, capped_sink.node_id, session_id="a")
+        # With the historical event-based flush this run needed budget + 1
+        # events; the bookkeeping timer keeps it exactly at the cap.
+        protocol.run_until_quiescent()
+        assert protocol.simulator.events_processed == budget

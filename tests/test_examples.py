@@ -32,11 +32,31 @@ def test_quickstart_runs_and_validates(capsys):
 
 def test_dynamic_sessions_walkthrough(capsys):
     module = load_example("dynamic_sessions")
-    module.main()
+    assert module.main([]) == 0
     output = capsys.readouterr().out
     assert "API.Rate" in output
     assert "80.00 Mbps" in output
     assert "quiescent again" in output
+
+
+def test_dynamic_sessions_sharded_engine(capsys):
+    module = load_example("dynamic_sessions")
+    assert module.main(["--engine", "sharded:2"]) == 0
+    output = capsys.readouterr().out
+    assert "80.00 Mbps" in output
+
+
+def test_dynamic_sessions_parallel_engine_falls_back_to_serial(capsys):
+    module = load_example("dynamic_sessions")
+    assert module.main(["--engine", "sharded:2/parallel"]) == 0
+    output = capsys.readouterr().out
+    assert "bit-identical serial schedule" in output
+    assert "80.00 Mbps" in output
+
+
+def test_dynamic_sessions_rejects_bad_engine(capsys):
+    module = load_example("dynamic_sessions")
+    assert module.main(["--engine", "sharded:0"]) == 2
 
 
 def test_wan_vs_lan_small_counts(capsys):
@@ -46,6 +66,27 @@ def test_wan_vs_lan_small_counts(capsys):
     assert "small-lan" in output
     assert "small-wan" in output
     assert "longer to become quiescent" in output
+
+
+def test_experiment1_sweep_parallel_engine(capsys):
+    module = load_example("experiment1_sweep")
+    exit_code = module.main(
+        ["--counts", "5", "--sizes", "small", "--delay-models", "lan",
+         "--engine", "sharded:2/parallel"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "small-lan" in output
+
+
+def test_experiment1_sweep_rejects_bad_engine(capsys):
+    module = load_example("experiment1_sweep")
+    exit_code = module.main(
+        ["--counts", "5", "--sizes", "small", "--delay-models", "lan",
+         "--engine", "sharded:2/turbo"]
+    )
+    assert exit_code == 2
+    assert "sharded:K[/parallel]" in capsys.readouterr().err
 
 
 def test_experiment1_sweep_tiny(capsys):

@@ -129,6 +129,73 @@ class TestCrossEngineDeterminism(object):
         assert validate_against_oracle(protocol).valid
 
 
+class TestMultiPhaseChurnDeterminism(object):
+    """Five-phase Experiment-2-style churn, bit-identical on every engine.
+
+    Phase N+1 is scheduled only after phase N's *observed* quiescence time --
+    the workload shape the persistent-worker parallel engine exists for.  The
+    committed golden was captured from the sequential engine; the serial
+    sharded engines and the persistent-parallel engines (2 and 4 shards) must
+    reproduce its per-phase quiescence times, per-phase packet deltas, packet
+    and event totals, ``API.Rate`` callback count and final allocation
+    bit-exactly.
+    """
+
+    CHURN_KEY = "churn-medium-lan-s5-n60"
+
+    ENGINES = ["sequential", "sharded:2", "sharded:4"]
+    if hasattr(os, "fork"):
+        ENGINES += ["sharded:2/parallel", "sharded:4/parallel"]
+
+    def _run_churn(self, engine):
+        from repro.experiments.runner import ExperimentRunner, ScenarioSpec
+        from repro.workloads.dynamics import DynamicPhase
+        from repro.workloads.generator import uniform_demand
+
+        _name, size, delay, seed, count = self.CHURN_KEY.split("-")
+        seed = int(seed[1:])
+        count = int(count[1:])
+        spec = ScenarioSpec(size=size, delay_model=delay, seed=seed, engine=engine)
+        runner = ExperimentRunner(spec, generator_seed=seed)
+        churn = count // 5
+        phases = [
+            DynamicPhase("join", joins=count),
+            DynamicPhase("leave", leaves=churn),
+            DynamicPhase("change", changes=churn),
+            DynamicPhase("join2", joins=churn),
+            DynamicPhase("mixed", joins=churn, leaves=churn, changes=churn),
+        ]
+        outcomes = runner.run_phases(
+            phases,
+            demand_sampler=uniform_demand(1e6, 80e6),
+            inter_phase_gap=1e-3,
+        )
+        final = runner.checkpoint("after churn")
+        return runner, outcomes, final
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_churn_reproduces_the_sequential_golden(self, engine):
+        golden = CROSS_ENGINE_GOLDENS[self.CHURN_KEY]["sequential"]
+        runner, outcomes, final = self._run_churn(engine)
+        protocol = runner.protocol
+        if engine.endswith("/parallel"):
+            # The run must actually have executed on the worker pool, not
+            # have fallen back to serial.
+            assert protocol.simulator.workers_live
+        assert final.validated
+        assert [repr(o.quiescence_time) for o in outcomes] == golden["phase_quiescence"]
+        assert [o.packets for o in outcomes] == golden["phase_packets"]
+        assert protocol.tracer.total == golden["packets"]
+        assert protocol.simulator.events_processed == golden["events"]
+        assert dict(protocol.tracer.by_type) == golden["by_type"]
+        assert protocol.rate_callbacks == golden["rate_callbacks"]
+        allocation = protocol.current_allocation().as_dict()
+        assert {
+            sid: repr(rate) for sid, rate in sorted(allocation.items())
+        } == golden["allocation"]
+        runner.close()
+
+
 class TestCancelAccounting(object):
     def test_cancel_after_fire_keeps_pending_events_exact(self):
         simulator = Simulator()

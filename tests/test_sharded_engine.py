@@ -46,9 +46,29 @@ class TestParseEngine(object):
         assert parse_engine("sharded:8/parallel") == ("sharded", 8, True)
 
     def test_rejects_garbage(self):
-        for bad in ("threads", "sharded:zero", "sharded:0", "sharded:-1"):
+        for bad in (
+            "threads",
+            "sharded:zero",
+            "sharded:0",
+            "sharded:-1",
+            "sharded:",                 # dangling colon, no count
+            "sharded:/parallel",        # dangling colon before the modifier
+            "sharded:4x",               # trailing junk after the count
+            "sharded:4/turbo",          # unknown modifier
+            "sharded:4/parallel/parallel",
+            "sequential:2",             # shard count on the sequential engine
+            4,                          # not a string
+        ):
             with pytest.raises(ValueError):
                 parse_engine(bad)
+
+    def test_error_messages_are_actionable(self):
+        with pytest.raises(ValueError, match=r"sharded:K\[/parallel\]"):
+            parse_engine("sharded:0")
+        with pytest.raises(ValueError, match="'zero'"):
+            parse_engine("sharded:zero")
+        with pytest.raises(ValueError, match="missing its shard count"):
+            parse_engine("sharded:")
 
 
 class TestShardedSimulatorPrimitive(object):
@@ -348,12 +368,226 @@ class TestParallelShardedRuns(object):
         assert parallel_retained == serial_retained
         assert not any(sid.startswith("warmup") for sid, _ in parallel_retained)
 
-    def test_parallel_runs_are_one_shot(self):
+    def test_workers_stay_resident_across_runs(self):
         runner = _populated_protocol("sharded:2/parallel", count=5, seed=3)
+        simulator = runner.protocol.simulator
+        assert not simulator.workers_live
         runner.run_to_quiescence()
         assert runner.protocol.quiescent
+        assert simulator.workers_live
+        pids = list(simulator._pool.pids)
+        # A second run reuses the same pool instead of raising (the old
+        # engine's one-shot contract) or re-forking.
+        runner.run_to_quiescence()
+        assert simulator.workers_live
+        assert simulator._pool.pids == pids
+        runner.close()
+        assert not simulator.workers_live
+
+    def _five_phase_churn(self, engine, seed=6, count=40):
+        spec = ScenarioSpec(size="small", delay_model="lan", seed=seed, engine=engine)
+        runner = ExperimentRunner(spec, generator_seed=seed)
+        runner.populate(count, join_window=(0.0, 1e-3))
+        first = runner.checkpoint("mass join")
+        phases = [
+            DynamicPhase("leave", leaves=10),
+            DynamicPhase("change", changes=10),
+            DynamicPhase("join2", joins=10),
+            DynamicPhase("mixed", joins=6, leaves=6, changes=6),
+        ]
+        outcomes = runner.run_phases(phases, inter_phase_gap=1e-3)
+        final = runner.checkpoint("after churn")
+        protocol = runner.protocol
+        summary = {
+            "first_quiescence": first.quiescence_time,
+            "phase_quiescence": [outcome.quiescence_time for outcome in outcomes],
+            "phase_packets": [outcome.packets for outcome in outcomes],
+            "phase_callbacks": [outcome.rate_callbacks for outcome in outcomes],
+            "packets": protocol.tracer.total,
+            "by_type": dict(protocol.tracer.by_type),
+            "events": protocol.simulator.events_processed,
+            "allocation": protocol.current_allocation().as_dict(),
+            "notified": protocol.notified_allocation().as_dict(),
+            "rate_callbacks": protocol.rate_callbacks,
+            "in_flight": protocol.in_flight_packets,
+            "validated": final.validated,
+            "active": len(runner.active_ids),
+        }
+        runner.close()
+        return summary
+
+    def test_multi_phase_churn_matches_serial_bit_exactly(self):
+        # The tentpole contract: phase N+1 is scheduled after phase N's
+        # observed quiescence, workers stay resident, and the whole
+        # multi-phase run reproduces the serial sharded schedule bit-exactly.
+        serial = self._five_phase_churn("sharded:2")
+        parallel = self._five_phase_churn("sharded:2/parallel")
+        assert parallel == serial
+        assert parallel["validated"]
+        assert parallel["in_flight"] == 0
+
+    def test_direct_leave_and_change_broadcast_between_runs(self):
+        results = {}
+        for engine in ("sharded:2", "sharded:2/parallel"):
+            runner = _populated_protocol(engine, count=12, seed=8)
+            runner.run_to_quiescence()
+            victim, changed = runner.active_ids[0], runner.active_ids[1]
+            now = runner.protocol.simulator.now
+            # Direct API calls between runs are transparently converted into
+            # broadcast actions when workers are live.
+            runner.protocol.leave(victim, at=now + 1e-4)
+            runner.protocol.change(changed, 2 * MBPS, at=now + 2e-4)
+            runner.run_to_quiescence()
+            allocation = runner.protocol.current_allocation().as_dict()
+            assert victim not in allocation
+            assert allocation[changed] == pytest.approx(2 * MBPS)
+            results[engine] = allocation
+            runner.close()
+        assert results["sharded:2"] == results["sharded:2/parallel"]
+
+    def test_past_dated_actions_are_rejected_before_the_broadcast(self):
+        # A batch the driver rejects must never reach the workers: their idle
+        # clocks lag the driver's, so their own past-time guards would not
+        # fire and the rejected action would silently execute anyway.
+        runner = _populated_protocol("sharded:2/parallel", count=10, seed=8)
+        runner.run_to_quiescence()
+        protocol = runner.protocol
+        victim = runner.active_ids[0]
+        past = protocol.simulator.now - 1e-4
         with pytest.raises(RuntimeError):
-            runner.protocol.run_until_quiescent()
+            protocol.leave(victim, at=past)
+        runner.run_to_quiescence()
+        # The session is still active: no worker acted on the rejected batch.
+        assert victim in protocol.current_allocation().as_dict()
+        runner.close()
+
+    def test_runs_after_shutdown_raise_instead_of_reforking(self):
+        # After close() the workers' authoritative state is gone; a later
+        # parallel run must raise, not silently re-fork from the driver's
+        # cleared mirror queues (which would produce wrong allocations).
+        runner = _populated_protocol("sharded:2/parallel", count=10, seed=8)
+        runner.run_to_quiescence()
+        runner.close()
+        victim = runner.active_ids[0]
+        runner.protocol.leave(victim, at=runner.protocol.simulator.now + 1e-4)
+        with pytest.raises(RuntimeError, match="shut down"):
+            runner.run_to_quiescence()
+
+    def test_shutdown_before_the_first_run_does_not_retire_the_engine(self):
+        runner = _populated_protocol("sharded:2/parallel", count=5, seed=3)
+        runner.close()  # nothing started yet: must not brick the engine
+        runner.run_to_quiescence()
+        assert runner.protocol.simulator.workers_live
+        assert validate_against_oracle(runner.protocol).valid
+        runner.close()
+
+    def test_direct_join_with_live_workers_is_rejected(self):
+        runner = _populated_protocol("sharded:2/parallel", count=5, seed=3)
+        runner.run_to_quiescence()
+        protocol = runner.protocol
+        generator = runner.generator
+        source_router, destination_router = generator.random_source.pair(
+            generator.attachment_routers
+        )
+        source = runner.network.attach_host(source_router, 1000 * MBPS, microseconds(1))
+        sink = runner.network.attach_host(
+            destination_router, 1000 * MBPS, microseconds(1)
+        )
+        session = protocol.create_session(source.node_id, sink.node_id)
+        with pytest.raises(RuntimeError, match="JoinAction"):
+            protocol.join(session, at=protocol.simulator.now + 1e-4)
+        runner.close()
+
+    def test_horizon_runs_execute_on_the_pool_and_match_serial(self):
+        # run(until=...) goes through RUN_UNTIL epochs: events past the
+        # horizon (and undelivered cross-shard mail) stay pending in the
+        # workers and drain on the next run, matching the serial schedule.
+        def horizon_run(engine):
+            runner = _populated_protocol(engine, count=20, seed=11)
+            protocol = runner.protocol
+            mid = protocol.run(until=3e-4)  # mid-burst: plenty still queued
+            pending_mid = protocol.simulator.pending_events
+            assert pending_mid > 0
+            assert not protocol.quiescent
+            quiescence = protocol.run_until_quiescent()
+            assert protocol.quiescent
+            result = (
+                mid,
+                pending_mid,
+                quiescence,
+                protocol.simulator.events_processed,
+                protocol.tracer.total,
+                protocol.current_allocation().as_dict(),
+            )
+            runner.close()
+            return result
+
+        serial = horizon_run("sharded:2")
+        parallel = horizon_run("sharded:2/parallel")
+        assert parallel == serial
+
+    def test_parallel_limits_are_enforced_per_phase(self):
+        runner = _populated_protocol("sharded:2/parallel", count=20, seed=11)
+        simulator = runner.protocol.simulator
+        simulator.max_events = 50  # far below the mass join's event count
+        with pytest.raises(SimulationLimitExceeded):
+            runner.run_to_quiescence()
+        runner.close()
+
+        runner = _populated_protocol("sharded:2/parallel", count=20, seed=11)
+        simulator = runner.protocol.simulator
+        simulator.max_time = 2e-4  # the join burst alone outlives this
+        with pytest.raises(SimulationLimitExceeded):
+            runner.run_to_quiescence()
+        runner.close()
+
+    def test_parallel_rejects_serial_only_features(self):
+        runner = _populated_protocol("sharded:2/parallel", count=5, seed=3)
+        with pytest.raises(RuntimeError, match="stop_condition"):
+            runner.protocol.run(stop_condition=lambda: True)
+        runner.protocol.simulator.tracer = object()
+        with pytest.raises(RuntimeError, match="tracer"):
+            runner.run_to_quiescence()
+        runner.protocol.simulator.tracer = None
+        runner.close()
+
+    def test_worker_killed_mid_run_raises_naming_the_lane(self):
+        # A worker that dies (EOF on its pipe) must surface as a clear
+        # RuntimeError naming the lane -- never a hang.
+        import signal
+
+        runner = _populated_protocol("sharded:2/parallel", count=8, seed=5)
+        runner.run_to_quiescence()
+        simulator = runner.protocol.simulator
+        victim_pid = simulator._pool.pids[1]
+        os.kill(victim_pid, signal.SIGKILL)
+        os.waitpid(victim_pid, 0)
+        victim = runner.active_ids[0]
+        # The very next command -- here the action broadcast behind leave() --
+        # must surface the dead worker; it must not take until the next run.
+        with pytest.raises(RuntimeError, match="lane 1"):
+            runner.protocol.leave(victim, at=simulator.now + 1e-4)
+        # The failure tears the pool down: no zombies, no half-alive engine.
+        assert not simulator.workers_live
+
+    def test_stop_in_a_worker_ends_the_run_at_the_barrier_not_a_hang(self):
+        # stop() executed inside a worker latches that worker's flag; without
+        # the per-epoch reset, every later drain would return immediately and
+        # the driver's epoch loop would spin forever on an unchanged t_min.
+        simulator = _sharded_simulator(2, lookahead=1e-6, parallel=True)
+        simulator.remote_handler = lambda payload: None
+        simulator.schedule_on(0, 1e-6, simulator.stop)
+        simulator.schedule_on(1, 5e-6, lambda: None)
+        simulator.run_until_quiescent()
+        # The run ended at the first epoch barrier: the stop event ran, the
+        # later event on the other lane is still pending.
+        assert simulator.events_processed == 1
+        assert simulator.pending_events == 1
+        # A later run completes normally -- the stop was not latched.
+        simulator.run_until_quiescent()
+        assert simulator.events_processed == 2
+        assert simulator.pending_events == 0
+        simulator.shutdown()
 
     def test_worker_failure_surfaces_as_runtime_error(self):
         simulator = _sharded_simulator(2, parallel=True)

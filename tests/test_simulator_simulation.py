@@ -306,3 +306,86 @@ def test_instant_flush_is_not_an_event(simulator):
     simulator.run_until_quiescent()
     assert simulator.events_processed == 1
     assert simulator.now == 1.0
+
+
+class TestBookkeepingTimers(object):
+    """schedule_bookkeeping: out-of-band timers that are not events."""
+
+    def test_fires_before_any_event_at_or_after_its_due_time(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(1.0, lambda: order.append("early"))
+        simulator.schedule(3.0, lambda: order.append("late"))
+        simulator.schedule_bookkeeping(2.0, lambda due: order.append(("timer", due)))
+        simulator.run_until_quiescent()
+        assert order == ["early", ("timer", 2.0), "late"]
+
+    def test_is_invisible_to_events_and_quiescence(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(1.0, lambda: None)
+        simulator.schedule_bookkeeping(5.0, fired.append)
+        assert simulator.pending_events == 1
+        assert simulator.pending_bookkeeping == 1
+        quiescence = simulator.run_until_quiescent()
+        # The timer fired (at run end; its due lies past the last event) but
+        # neither the event count, the clock nor the quiescence time moved.
+        assert fired == [5.0]
+        assert simulator.events_processed == 1
+        assert quiescence == 1.0
+        assert simulator.now == 1.0
+        assert simulator.pending_bookkeeping == 0
+
+    def test_horizon_runs_fire_only_matured_timers(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(1.0, lambda: None)
+        simulator.schedule(9.0, lambda: None)
+        simulator.schedule_bookkeeping(2.0, lambda due: fired.append(due))
+        simulator.schedule_bookkeeping(8.0, lambda due: fired.append(due))
+        simulator.run(until=5.0)
+        assert fired == [2.0]
+        assert simulator.pending_bookkeeping == 1
+        simulator.run_until_quiescent()
+        assert fired == [2.0, 8.0]
+
+    def test_stopped_runs_leave_timers_pending(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(1.0, simulator.stop)
+        simulator.schedule(2.0, lambda: None)
+        simulator.schedule_bookkeeping(1.5, fired.append)
+        simulator.run()
+        assert fired == []
+        assert simulator.pending_bookkeeping == 1
+        simulator.run_until_quiescent()
+        assert fired == [1.5]
+
+    def test_rejects_negative_delay(self):
+        simulator = Simulator()
+        with pytest.raises(ValueError):
+            simulator.schedule_bookkeeping(-1.0, lambda due: None)
+
+    def test_ties_run_in_registration_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule_bookkeeping(1.0, lambda due: order.append("a"))
+        simulator.schedule_bookkeeping(1.0, lambda due: order.append("b"))
+        simulator.schedule(2.0, lambda: order.append("event"))
+        simulator.run_until_quiescent()
+        assert order == ["a", "b", "event"]
+
+    def test_condition_stopped_runs_leave_timers_pending(self):
+        # A stop_condition firing on the event that empties the queue must
+        # not flush future-dated timers: the run is paused, not drained
+        # (matching the sharded engine's behavior).
+        simulator = Simulator()
+        fired = []
+        done = []
+        simulator.schedule(1.0, lambda: done.append(True))
+        simulator.schedule_bookkeeping(5.0, fired.append)
+        simulator.run(stop_condition=lambda: bool(done))
+        assert fired == []
+        assert simulator.pending_bookkeeping == 1
+        simulator.run_until_quiescent()
+        assert fired == [5.0]
