@@ -39,16 +39,16 @@ def _mass_join(size, print_table):
         trace_packets=False,
         notification_log="ring",
     )
-    runner = ExperimentRunner(spec)
-    runner.populate(MASS_JOIN_SESSIONS, join_window=(0.0, 1e-3))
-    measurement = runner.checkpoint("mass join of %d sessions" % MASS_JOIN_SESSIONS)
+    with ExperimentRunner(spec) as runner:
+        runner.populate(MASS_JOIN_SESSIONS, join_window=(0.0, 1e-3))
+        measurement = runner.checkpoint("mass join of %d sessions" % MASS_JOIN_SESSIONS)
 
-    # The headline property at paper scale: quiescence is reached and the
-    # distributed allocation equals the centralized max-min oracle.
-    assert measurement.validated
-    assert measurement.quiescence_time > 0.0
-    assert runner.protocol.quiescent
-    assert runner.protocol.in_flight_packets == 0
+        # The headline property at paper scale: quiescence is reached and the
+        # distributed allocation equals the centralized max-min oracle.
+        assert measurement.validated
+        assert measurement.quiescence_time > 0.0
+        assert runner.protocol.quiescent
+        assert runner.protocol.in_flight_packets == 0
 
     print_table(
         "Paper-scale %s: mass join to quiescence" % size,

@@ -54,25 +54,25 @@ def _run_churn(engine, size, seed, count, leave_at, change_at, validate=True):
         notification_log="null",
         validate=validate,
     )
-    runner = ExperimentRunner(spec, generator_seed=seed)
-    runner.populate(count, join_window=(0.0, 1e-3))
-    session_ids = list(runner.active_ids)
-    for session_id in session_ids[: count // 5]:
-        runner.protocol.leave(session_id, at=leave_at)
-    for session_id in session_ids[count // 5 : 2 * count // 5]:
-        runner.protocol.change(session_id, 5e6, at=change_at)
-    start = time.perf_counter()
-    quiescence = runner.run_to_quiescence()
-    wall_clock = time.perf_counter() - start
-    validated = runner.validate() if validate else None
-    return {
-        "engine": engine,
-        "quiescence": quiescence,
-        "events": runner.protocol.simulator.events_processed,
-        "wall": wall_clock,
-        "allocation": runner.protocol.current_allocation().as_dict(),
-        "validated": validated,
-    }
+    with ExperimentRunner(spec, generator_seed=seed) as runner:
+        runner.populate(count, join_window=(0.0, 1e-3))
+        session_ids = list(runner.active_ids)
+        for session_id in session_ids[: count // 5]:
+            runner.protocol.leave(session_id, at=leave_at)
+        for session_id in session_ids[count // 5 : 2 * count // 5]:
+            runner.protocol.change(session_id, 5e6, at=change_at)
+        start = time.perf_counter()
+        quiescence = runner.run_to_quiescence()
+        wall_clock = time.perf_counter() - start
+        validated = runner.validate() if validate else None
+        return {
+            "engine": engine,
+            "quiescence": quiescence,
+            "events": runner.protocol.simulator.events_processed,
+            "wall": wall_clock,
+            "allocation": runner.protocol.current_allocation().as_dict(),
+            "validated": validated,
+        }
 
 
 def _run_multi_phase_churn(engine, size, seed, count, validate=True):
@@ -87,33 +87,31 @@ def _run_multi_phase_churn(engine, size, seed, count, validate=True):
         notification_log="null",
         validate=validate,
     )
-    runner = ExperimentRunner(spec, generator_seed=seed)
-    churn = max(1, count // 5)
-    phases = [
-        DynamicPhase("join", joins=count),
-        DynamicPhase("leave", leaves=churn),
-        DynamicPhase("change", changes=churn),
-        DynamicPhase("join2", joins=churn),
-        DynamicPhase("mixed", joins=churn, leaves=churn, changes=churn),
-    ]
-    start = time.perf_counter()
-    outcomes = runner.run_phases(
-        phases, demand_sampler=uniform_demand(1e6, 80e6), inter_phase_gap=1e-3
-    )
-    wall_clock = time.perf_counter() - start
-    validated = runner.validate() if validate else None
-    result = {
-        "engine": engine,
-        "quiescence": outcomes[-1].quiescence_time,
-        "phase_quiescence": [outcome.quiescence_time for outcome in outcomes],
-        "events": runner.protocol.simulator.events_processed,
-        "wall": wall_clock,
-        "allocation": runner.protocol.current_allocation().as_dict(),
-        "validated": validated,
-        "workers_live": getattr(runner.protocol.simulator, "workers_live", False),
-    }
-    runner.close()
-    return result
+    with ExperimentRunner(spec, generator_seed=seed) as runner:
+        churn = max(1, count // 5)
+        phases = [
+            DynamicPhase("join", joins=count),
+            DynamicPhase("leave", leaves=churn),
+            DynamicPhase("change", changes=churn),
+            DynamicPhase("join2", joins=churn),
+            DynamicPhase("mixed", joins=churn, leaves=churn, changes=churn),
+        ]
+        start = time.perf_counter()
+        outcomes = runner.run_phases(
+            phases, demand_sampler=uniform_demand(1e6, 80e6), inter_phase_gap=1e-3
+        )
+        wall_clock = time.perf_counter() - start
+        validated = runner.validate() if validate else None
+        return {
+            "engine": engine,
+            "quiescence": outcomes[-1].quiescence_time,
+            "phase_quiescence": [outcome.quiescence_time for outcome in outcomes],
+            "events": runner.protocol.simulator.events_processed,
+            "wall": wall_clock,
+            "allocation": runner.protocol.current_allocation().as_dict(),
+            "validated": validated,
+            "workers_live": getattr(runner.protocol.simulator, "workers_live", False),
+        }
 
 
 def _speedup_table(results):

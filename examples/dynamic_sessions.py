@@ -98,43 +98,43 @@ def main(argv=None):
         network_builder=lambda: parking_lot_topology(3, capacity=100 * MBPS),
         engine=engine,
     )
-    runner = ExperimentRunner(spec)
-    network, protocol = runner.network, runner.protocol
+    with ExperimentRunner(spec) as runner:
+        network, protocol = runner.network, runner.protocol
 
-    def new_session(name, source_router, destination_router, demand=float("inf")):
-        source = network.attach_host(source_router, 1000 * MBPS, microseconds(1))
-        sink = network.attach_host(destination_router, 1000 * MBPS, microseconds(1))
-        session = protocol.create_session(
-            source.node_id, sink.node_id, demand=demand, session_id=name
-        )
-        application = PrintingApplication(name, demand)
-        protocol.join(session, application=application)
-        return application
+        def new_session(name, source_router, destination_router, demand=float("inf")):
+            source = network.attach_host(source_router, 1000 * MBPS, microseconds(1))
+            sink = network.attach_host(destination_router, 1000 * MBPS, microseconds(1))
+            session = protocol.create_session(
+                source.node_id, sink.node_id, demand=demand, session_id=name
+            )
+            application = PrintingApplication(name, demand)
+            protocol.join(session, application=application)
+            return application
 
-    new_session("long", "r0", "r3")
-    run_step(runner, "1. 'long' joins and gets the whole path (100 Mbps)")
+        new_session("long", "r0", "r3")
+        run_step(runner, "1. 'long' joins and gets the whole path (100 Mbps)")
 
-    new_session("short-a", "r0", "r1")
-    run_step(runner, "2. 'short-a' joins on the first hop: both drop to 50 Mbps")
+        new_session("short-a", "r0", "r1")
+        run_step(runner, "2. 'short-a' joins on the first hop: both drop to 50 Mbps")
 
-    new_session("short-b", "r1", "r2")
-    new_session("short-c", "r2", "r3")
-    run_step(runner, "3. 'short-b' and 'short-c' join: every link is now a 50/50 bottleneck")
+        new_session("short-b", "r1", "r2")
+        new_session("short-c", "r2", "r3")
+        run_step(runner, "3. 'short-b' and 'short-c' join: every link is now a 50/50 bottleneck")
 
-    protocol.change("short-a", 20 * MBPS)
-    run_step(runner, "4. 'short-a' caps itself at 20 Mbps: 'long' can only use 50 elsewhere")
+        protocol.change("short-a", 20 * MBPS)
+        run_step(runner, "4. 'short-a' caps itself at 20 Mbps: 'long' can only use 50 elsewhere")
 
-    protocol.leave("short-b")
-    run_step(runner, "5. 'short-b' leaves: 'long' is still limited by the last hop")
+        protocol.leave("short-b")
+        run_step(runner, "5. 'short-b' leaves: 'long' is still limited by the last hop")
 
-    protocol.leave("short-c")
-    run_step(runner, "6. 'short-c' leaves too: 'long' grows to 80 Mbps (short-a keeps 20)")
+        protocol.leave("short-c")
+        run_step(runner, "6. 'short-c' leaves too: 'long' grows to 80 Mbps (short-a keeps 20)")
 
-    print("final rates:")
-    allocation = protocol.current_allocation()
-    for session_id, rate in sorted(allocation.as_dict().items()):
-        print("    %-8s %7.2f Mbps" % (session_id, rate / MBPS))
-    print("total control packets over the whole run: %d" % runner.tracer.total)
+        print("final rates:")
+        allocation = protocol.current_allocation()
+        for session_id, rate in sorted(allocation.as_dict().items()):
+            print("    %-8s %7.2f Mbps" % (session_id, rate / MBPS))
+        print("total control packets over the whole run: %d" % runner.tracer.total)
     return 0
 
 

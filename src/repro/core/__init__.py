@@ -35,6 +35,7 @@ from repro.core.notifications import (
     make_notification_log,
 )
 from repro.core.actions import (
+    CapacityChangeAction,
     ChangeAction,
     JoinAction,
     LeaveAction,
@@ -63,6 +64,7 @@ __all__ = [
     "BNeckProtocol",
     "BOTTLENECK",
     "Bottleneck",
+    "CapacityChangeAction",
     "ChangeAction",
     "IDLE",
     "Join",

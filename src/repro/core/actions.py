@@ -14,7 +14,11 @@ through the same :func:`replay_actions` code path:
   host, creates the session along the shortest path, and schedules its
   ``API.Join``;
 * a :class:`LeaveAction` / :class:`ChangeAction` schedule ``API.Leave`` /
-  ``API.Change`` on an existing session.
+  ``API.Change`` on an existing session;
+* a :class:`CapacityChangeAction` schedules a change of one directed link's
+  data-plane capacity, after which the owning RouterLink re-runs its
+  bottleneck computation (see
+  :meth:`repro.core.router_link.RouterLinkTask.capacity_changed`).
 
 Replay is deterministic: host attachment, session creation and API scheduling
 happen in action order, so every process pushes the same events in the same
@@ -125,6 +129,40 @@ class ChangeAction(object):
         )
 
 
+class CapacityChangeAction(object):
+    """A change of one directed link's data-plane capacity at an absolute time.
+
+    ``source`` / ``target`` name the directed router-to-router link whose
+    ``Ce`` changes to ``capacity`` at time ``at``.  Replay schedules the
+    change on the lane owning the link's transmitting router; when it fires,
+    the network link is mutated and the RouterLink task (if any session
+    crosses the link) re-runs its bottleneck computation so the protocol
+    reconverges to the max-min allocation of the updated network.  The link's
+    *control* delay is deliberately left at its construction-time value (see
+    :meth:`repro.network.graph.Link.set_capacity`).
+    """
+
+    kind = "capacity"
+    __slots__ = ("source", "target", "capacity", "at")
+
+    def __init__(self, source, target, capacity, at):
+        self.source = source
+        self.target = target
+        self.capacity = capacity
+        self.at = at
+
+    def __reduce__(self):
+        return (CapacityChangeAction, (self.source, self.target, self.capacity, self.at))
+
+    def __repr__(self):
+        return "CapacityChangeAction(%r -> %r, capacity=%r, at=%r)" % (
+            self.source,
+            self.target,
+            self.capacity,
+            self.at,
+        )
+
+
 def join_action_from_spec(spec, host_capacity, host_delay):
     """Turn a :class:`~repro.workloads.generator.SessionSpec` into a JoinAction."""
     return JoinAction(
@@ -169,6 +207,15 @@ def replay_actions(protocol, actions):
             protocol.leave(action.session_id, at=action.at)
         elif kind == "change":
             protocol.change(action.session_id, action.demand, at=action.at)
+        elif kind == "capacity":
+            schedule = getattr(protocol, "schedule_capacity_change", None)
+            if schedule is None:
+                raise ValueError(
+                    "protocol %r does not support capacity-change actions "
+                    "(only BNeckProtocol re-runs the bottleneck computation "
+                    "on a capacity change)" % (protocol,)
+                )
+            schedule(action)
         else:
             raise ValueError("unknown session action kind %r" % (kind,))
     return joined
@@ -196,7 +243,7 @@ def validate_actions(actions):
     batch.
     """
     for action in actions:
-        if action.kind not in ("join", "leave", "change"):
+        if action.kind not in ("join", "leave", "change", "capacity"):
             raise ValueError("unknown session action kind %r" % (action.kind,))
         at = action.at
         if not isinstance(at, (int, float)) or math.isnan(at) or math.isinf(at):
@@ -204,5 +251,12 @@ def validate_actions(actions):
             # makes every epoch end at inf without ever consuming the event.
             raise ValueError(
                 "action %r needs a finite absolute time, got %r" % (action, at)
+            )
+        if action.kind == "capacity" and not (
+            action.capacity > 0 and math.isfinite(action.capacity)
+        ):
+            raise ValueError(
+                "action %r needs a positive finite capacity, got %r"
+                % (action, action.capacity)
             )
     return actions

@@ -53,6 +53,7 @@ nothing) without affecting protocol behaviour.
 import math
 
 from repro.core.actions import (
+    CapacityChangeAction,
     ChangeAction,
     LeaveAction,
     replay_actions,
@@ -157,6 +158,13 @@ class BNeckProtocol(object):
         self._pending_by_shard = None
         self._fork_baseline = None
         self._replaying_actions = False
+        # Scheduled-but-not-yet-applied capacity changes, as (at, source,
+        # target, capacity) tuples.  On serial engines the scheduled event
+        # itself consumes its entry; the driver of a persistent-parallel run
+        # never executes events, so it folds due entries into its network
+        # mirror at the end-of-run state sync instead (the workers applied
+        # them at event time).
+        self._pending_capacity_changes = []
 
     # ------------------------------------------------------------------ sharding
 
@@ -241,6 +249,13 @@ class BNeckProtocol(object):
         (driver-side copies).
         """
         actions = validate_actions(list(actions))
+        # Resolve capacity targets against this network *before* any
+        # broadcast: an unknown link or a host endpoint must surface as a
+        # clean driver-side error, not fail mid-replay after live workers
+        # already received the batch (which would force a pool teardown).
+        for action in actions:
+            if action.kind == "capacity":
+                self._check_capacity_action(action)
         simulator = self.simulator
         if self._shard_plan is not None and hasattr(simulator, "broadcast_actions"):
             if getattr(simulator, "workers_live", False):
@@ -368,6 +383,98 @@ class BNeckProtocol(object):
             source.api_change(requested_rate)
 
         self._schedule_api_call(apply_change, at, "API.Change", shard=source.shard_id)
+
+    def change_capacity(self, source, target, capacity, at=None, both_directions=False):
+        """Change a router-to-router link's data-plane capacity, mid-flight.
+
+        The change is described as one (or, with ``both_directions``, a pair
+        of) broadcast :class:`~repro.core.actions.CapacityChangeAction` and
+        applied through :meth:`apply_actions`, so it works identically on the
+        sequential, serial-sharded and persistent-parallel engines.  When the
+        scheduled time arrives, the network link is mutated and the affected
+        RouterLink re-runs its bottleneck computation
+        (:meth:`~repro.core.router_link.RouterLinkTask.capacity_changed`);
+        once the protocol requiesces, the allocation again matches the
+        water-filling oracle on the *updated* capacities.  ``at=None`` pins
+        the change to the current time.
+        """
+        when = self.simulator.now if at is None else at
+        actions = [CapacityChangeAction(source, target, capacity, when)]
+        if both_directions:
+            actions.append(CapacityChangeAction(target, source, capacity, when))
+        return self.apply_actions(actions)
+
+    def schedule_capacity_change(self, action):
+        """Schedule one replayed :class:`~repro.core.actions.CapacityChangeAction`.
+
+        Called from :func:`repro.core.actions.replay_actions` in every process
+        of a parallel run.  The change is scheduled on the lane owning the
+        link's transmitting router, so it takes a deterministic
+        ``(time, sequence)`` slot relative to the packets in flight around it.
+        """
+        link = self._check_capacity_action(action)
+        key = (action.source, action.target)
+        entry = (action.at, action.source, action.target, action.capacity)
+        self._pending_capacity_changes.append(entry)
+
+        def apply_change():
+            self._discard_pending_capacity_change(entry)
+            link.set_capacity(action.capacity)
+            task = self._router_links.get(key)
+            if task is not None:
+                task.capacity_changed(action.capacity)
+
+        shard = 0
+        if self._shard_plan is not None:
+            shard = self._shard_plan.shard_of(action.source)
+        self._schedule_api_call(apply_change, action.at, "CapacityChange", shard=shard)
+
+    def _check_capacity_action(self, action):
+        """Resolve a capacity action's link, rejecting host endpoints.
+
+        Raises ``KeyError`` for unknown links and ``ValueError`` for access
+        links; returns the :class:`~repro.network.graph.Link`.
+        """
+        key = (action.source, action.target)
+        link = self.network.link(*key)
+        for endpoint in key:
+            if not self.network.node(endpoint).is_router:
+                raise ValueError(
+                    "capacity changes apply to router-to-router links; %r -> %r "
+                    "touches host %r (access-link bandwidth is a session-demand "
+                    "concern: use API.Change)" % (action.source, action.target, endpoint)
+                )
+        return link
+
+    def _discard_pending_capacity_change(self, entry):
+        try:
+            self._pending_capacity_changes.remove(entry)
+        except ValueError:
+            pass
+
+    def _sync_due_capacity_changes(self):
+        """Fold worker-applied capacity changes into the driver's mirror.
+
+        Runs at the end-of-run state sync of a persistent-parallel run.  The
+        driver never executes events, so every scheduled change whose time has
+        passed was applied *worker-side* only; the network mirror (read by the
+        validation oracles) and the RouterLink mirror states catch up here.
+        Entries are applied in time order (stable on ties, matching the event
+        queue) so the last write to a link wins, exactly as in the workers.
+        """
+        now = self.simulator.now
+        due = [entry for entry in self._pending_capacity_changes if entry[0] <= now]
+        if not due:
+            return
+        self._pending_capacity_changes = [
+            entry for entry in self._pending_capacity_changes if entry[0] > now
+        ]
+        due.sort(key=lambda entry: entry[0])
+        for _at, source, target, capacity in due:
+            self.network.link(source, target).set_capacity(capacity)
+            task = self._router_links.get((source, target))
+            if task is not None:
+                task.state.set_capacity(capacity)
 
     def open_session(self, source_host, destination_host, demand=math.inf, session_id=None, at=None):
         """Create and immediately join a session; returns ``(session, application)``."""
@@ -722,6 +829,7 @@ class BNeckProtocol(object):
             # Logs that retain nothing (null) still count invocations.
             self.notification_log._recorded += recorded_delta
         self._merge_tracer_deltas([blob["tracer"] for blob in blobs])
+        self._sync_due_capacity_changes()
 
     def _merge_tracer_deltas(self, deltas):
         tracer = self.tracer

@@ -233,6 +233,61 @@ class RouterLinkTask(Process):
         # Otherwise a new Probe cycle for the session is already under way at
         # this link; the stale SetBottleneck is dropped.
 
+    # --------------------------------------------------- capacity dynamics
+
+    def capacity_changed(self, new_capacity):
+        """Re-run the bottleneck computation after ``C_e`` changed mid-flight.
+
+        Not part of Figure 2 -- link-capacity dynamics are an extension -- but
+        built entirely from the paper's own repair machinery, so the protocol
+        converges back to the max-min allocation of the *updated* network:
+
+        * a capacity drop can pull previously unrestricted sessions back under
+          this link's bottleneck rate; :meth:`process_new_restricted` moves
+          them from ``F_e`` into ``R_e`` exactly as a new restriction would;
+        * every settled session in ``R_e`` then holds a rate computed for the
+          old capacity (too high after a drop, too low after a raise), so each
+          is asked to run a fresh Probe cycle via an upstream Update -- the
+          same wake-up a Leave sends to its co-bottlenecked sessions.
+
+        Sessions already mid-cycle (``WAITING_*``) need no wake-up: their
+        in-flight Response is checked against the *new* ``B_e`` when it
+        arrives (``on_response`` re-probes on any mismatch).
+        """
+        state = self.state
+        state.set_capacity(new_capacity)
+        if not state.restricted and not state.unrestricted:
+            return
+        if not state.restricted and self.algebra.greater(
+            state.unrestricted_load(), new_capacity
+        ):
+            # With R_e empty, B_e is infinite and process_new_restricted is
+            # inert -- yet a deep capacity drop can leave the F_e load alone
+            # exceeding C_e.  Seed the recomputation by pulling the
+            # largest-rated F_e session back under this link's control
+            # (smallest id on ties, for determinism); B_e turns finite and
+            # the standard offender cascade below takes over.
+            rated = state.unrestricted_rated()
+            if rated:
+                largest = max(rate for _session_id, rate in rated)
+                victim = min(
+                    session_id
+                    for session_id, rate in rated
+                    if self.algebra.equal(rate, largest)
+                )
+                state.add_restricted(victim)
+        self.process_new_restricted()
+        rate = state.bottleneck_rate()
+        for session_id in sorted(state.restricted):
+            if (
+                state.state_of(session_id) == IDLE
+                and not self.algebra.equal(
+                    state.rate_of(session_id) or 0.0, rate
+                )
+            ):
+                state.set_state(session_id, WAITING_PROBE)
+                self._send_upstream_update(session_id)
+
     def on_leave(self, packet):
         """Figure 2, lines 57-62."""
         state = self.state

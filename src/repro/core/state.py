@@ -95,6 +95,15 @@ class LinkState(object):
             raise ValueError("unknown session state %r" % (state,))
         self._mu[session_id] = state
 
+    def set_capacity(self, capacity):
+        """Change ``C_e`` (link-capacity dynamics); ``B_e`` follows on its own
+        since :meth:`bottleneck_rate` recomputes from the stored capacity."""
+        if capacity <= 0 or not math.isfinite(capacity):
+            raise ValueError(
+                "link capacity must be positive and finite, got %r" % (capacity,)
+            )
+        self.capacity = capacity
+
     def set_rate(self, session_id, rate):
         if session_id in self.unrestricted:
             old = self._rate.get(session_id, 0)

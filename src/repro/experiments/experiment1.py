@@ -117,21 +117,18 @@ class Experiment1Row(object):
 def run_experiment1_case(scenario, session_count, config=None):
     """Run one (scenario, session count) cell and return its :class:`Experiment1Row`."""
     config = config or Experiment1Config()
-    runner = ExperimentRunner(
+    with ExperimentRunner(
         ScenarioSpec.from_network_scenario(
             scenario, validate=config.validate, engine=config.engine
         ),
         generator_seed=config.seed + session_count,
-    )
-    try:
+    ) as runner:
         runner.populate(
             session_count,
             join_window=(0.0, config.join_window),
             demand_sampler=config.demand_sampler,
         )
         measurement = runner.checkpoint("mass join of %d sessions" % session_count)
-    finally:
-        runner.close()
     return Experiment1Row(
         scenario_label=scenario.label,
         session_count=session_count,

@@ -130,24 +130,25 @@ class Experiment2Result(object):
 def run_experiment2(config=None, progress=None):
     """Run Experiment 2 and return an :class:`Experiment2Result`."""
     config = config or Experiment2Config()
-    runner = ExperimentRunner(config.spec(), generator_seed=config.seed, progress=progress)
     demand_sampler = uniform_demand(config.demand_low, config.demand_high)
+    with ExperimentRunner(
+        config.spec(), generator_seed=config.seed, progress=progress
+    ) as runner:
+        outcomes = runner.run_phases(
+            config.phases(),
+            demand_sampler=demand_sampler,
+            inter_phase_gap=config.inter_phase_gap,
+        )
 
-    outcomes = runner.run_phases(
-        config.phases(),
-        demand_sampler=demand_sampler,
-        inter_phase_gap=config.inter_phase_gap,
-    )
+        validated = True
+        if config.validate:
+            validated = runner.validate()
 
-    validated = True
-    if config.validate:
-        validated = runner.validate()
-
-    return Experiment2Result(
-        config=config,
-        outcomes=outcomes,
-        interval_series=runner.tracer.interval_series(),
-        validated=validated,
-        rate_callbacks=runner.protocol.rate_callbacks,
-        final_allocation=runner.protocol.notified_allocation().as_dict(),
-    )
+        return Experiment2Result(
+            config=config,
+            outcomes=outcomes,
+            interval_series=runner.tracer.interval_series(),
+            validated=validated,
+            rate_callbacks=runner.protocol.rate_callbacks,
+            final_allocation=runner.protocol.notified_allocation().as_dict(),
+        )

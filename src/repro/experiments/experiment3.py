@@ -168,7 +168,11 @@ def _run_one_protocol(name, config):
             name, network, tracer, config
         ),
     )
-    runner = ExperimentRunner(spec, generator_seed=config.seed)
+    with ExperimentRunner(spec, generator_seed=config.seed) as runner:
+        return _drive_protocol(name, runner, config)
+
+
+def _drive_protocol(name, runner, config):
     protocol, generator = runner.protocol, runner.generator
 
     specs = generator.generate(

@@ -23,6 +23,7 @@ with the hand-built teaching topologies), and the baseline protocols through
 workloads this way).
 """
 
+from repro.core.actions import schedule_actions
 from repro.core.protocol import BNeckProtocol
 from repro.core.validation import validate_against_oracle
 from repro.network.partition import partition_network
@@ -32,6 +33,7 @@ from repro.simulator.tracing import NullPacketTracer, PacketTracer
 from repro.workloads.dynamics import apply_phase
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.scenarios import NetworkScenario
+from repro.workloads.stochastic import make_workload
 
 
 class ScenarioSpec(object):
@@ -63,6 +65,10 @@ class ScenarioSpec(object):
         routing_metric: ``"hops"`` (paper default) or ``"delay"``.
         validate: whether :meth:`ExperimentRunner.checkpoint` validates
             against the centralized oracle.
+        workload: optional stochastic-workload reference (a registered name
+            like ``"poisson-churn"``, a class, or an instance -- see
+            :mod:`repro.workloads.stochastic`), the default for
+            :meth:`ExperimentRunner.run_scenario`.
         engine: execution engine -- ``"sequential"`` (default, the
             single-queue :class:`~repro.simulator.simulation.Simulator`),
             ``"sharded:K"`` (K event-queue shards advancing in lockstep
@@ -91,6 +97,7 @@ class ScenarioSpec(object):
         routing_metric="hops",
         validate=True,
         engine=SEQUENTIAL,
+        workload=None,
     ):
         if network is None and network_builder is None and size is None:
             raise ValueError("need a network, a network_builder or a named size")
@@ -118,6 +125,7 @@ class ScenarioSpec(object):
         self.notification_batch_window = notification_batch_window
         self.routing_metric = routing_metric
         self.validate = validate
+        self.workload = workload
 
     @classmethod
     def from_network_scenario(cls, scenario, **overrides):
@@ -298,6 +306,55 @@ class ExperimentRunner(object):
         self.active_ids.extend(installed)
         return installed
 
+    def apply_actions(self, actions):
+        """Broadcast a pre-resolved action batch and maintain membership.
+
+        ``actions`` are :mod:`repro.core.actions` records (joins, leaves,
+        changes, capacity changes) with every random choice resolved -- the
+        currency of the stochastic workload library.  The batch goes through
+        the protocol's engine-transparent entry point, and the runner's
+        ``active_ids`` tracks the joins and leaves it contains.
+        """
+        actions = list(actions)
+        result = schedule_actions(self.protocol, actions)
+        joined = [action.session_id for action in actions if action.kind == "join"]
+        left = {action.session_id for action in actions if action.kind == "leave"}
+        self.active_ids = [
+            session_id for session_id in self.active_ids if session_id not in left
+        ] + [session_id for session_id in joined if session_id not in left]
+        return result
+
+    def run_scenario(self, workload=None, **parameters):
+        """Drive a stochastic workload end to end; returns the measurements.
+
+        ``workload`` (default: the spec's ``workload``) resolves through
+        :func:`repro.workloads.stochastic.make_workload`; extra keyword
+        arguments construct it when a name or class is given.  Each round the
+        workload yields is broadcast, run to quiescence, measured and -- per
+        the spec -- validated against the centralized/water-filling oracles,
+        so every capacity change is checked on the *updated* network.
+        Returns one :class:`RunMeasurement` per round.
+        """
+        if workload is None:
+            workload = self.spec.workload
+        if workload is None:
+            raise ValueError(
+                "no workload given and the ScenarioSpec names none; pass "
+                "run_scenario(workload=...) or ScenarioSpec(workload=...)"
+            )
+        workload = make_workload(workload, **parameters)
+        measurements = []
+        for label, actions in workload.rounds(self):
+            self.apply_actions(actions)
+            measurement = self.checkpoint(label)
+            if not measurement.validated:
+                raise RuntimeError(
+                    "allocation failed oracle validation after round %r of "
+                    "workload %r" % (label, workload.name)
+                )
+            measurements.append(measurement)
+        return measurements
+
     def run_phase(self, phase, start_time=None, demand_sampler=None,
                   change_demand_sampler=None, run_to_quiescence=True):
         """Apply one churn phase, maintain membership, and report its outcome."""
@@ -358,6 +415,18 @@ class ExperimentRunner(object):
         shutdown = getattr(self.protocol.simulator, "shutdown", None)
         if shutdown is not None:
             shutdown()
+
+    def __enter__(self):
+        """Context-manager support: ``with ExperimentRunner(spec) as runner``.
+
+        Guarantees :meth:`close` runs even when a phase raises mid-run, so a
+        failing experiment can never leak a persistent worker pool.
+        """
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
 
     # ---------------------------------------------------------------- measuring
 

@@ -9,6 +9,8 @@ The model follows Section II of the paper:
   source of at most one session.
 """
 
+import math
+
 ROUTER = "router"
 HOST = "host"
 
@@ -89,8 +91,13 @@ class Link(object):
         self.capacity = capacity
         self.propagation_delay = propagation_delay
         self.control_packet_bits = control_packet_bits
-        # Links are immutable after construction, so the per-packet control
-        # delay can be computed once instead of on every transmission.
+        # The per-packet control delay is computed once instead of on every
+        # transmission.  It is *pinned* at the construction-time capacity even
+        # when `set_capacity` later changes the data-plane bandwidth: the
+        # paper's control traffic does not consume data bandwidth, and a fixed
+        # control delay keeps the sharded engines' lookahead bound (min
+        # cut-link control delay, computed at partition time) valid under
+        # capacity dynamics.
         self._control_delay = propagation_delay + control_packet_bits / capacity
 
     @property
@@ -100,6 +107,23 @@ class Link(object):
     def control_delay(self):
         """One-way delay experienced by a control packet on this link."""
         return self._control_delay
+
+    def set_capacity(self, capacity):
+        """Change the data-plane bandwidth ``Ce`` of this link.
+
+        Only the capacity used by the fairness computation changes; the
+        control-packet delay keeps its construction-time value (see the
+        comment in ``__init__``).  Callers driving a live protocol should go
+        through :meth:`repro.core.protocol.BNeckProtocol.change_capacity`
+        (or a broadcast :class:`~repro.core.actions.CapacityChangeAction`),
+        which also re-runs the bottleneck computation at the affected
+        RouterLink.
+        """
+        if capacity <= 0 or not math.isfinite(capacity):
+            raise ValueError(
+                "link capacity must be positive and finite, got %r" % (capacity,)
+            )
+        self.capacity = capacity
 
     def __repr__(self):
         return "Link(%r -> %r, capacity=%.3g, prop=%.3g)" % (

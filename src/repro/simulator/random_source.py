@@ -60,6 +60,10 @@ class RandomSource(object):
         """Exponentially distributed value with the given rate."""
         return self._rng.expovariate(rate)
 
+    def paretovariate(self, alpha):
+        """Pareto-distributed value (heavy-tailed, minimum 1) with shape ``alpha``."""
+        return self._rng.paretovariate(alpha)
+
     def pair(self, population):
         """Two distinct elements of ``population`` chosen uniformly."""
         first, second = self._rng.sample(population, 2)

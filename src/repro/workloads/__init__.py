@@ -9,7 +9,11 @@ provides as reusable building blocks:
   endpoints (uniform over stub routers), random demands and random join times
   inside a window;
 * :mod:`~repro.workloads.dynamics` -- phases of joins, leaves and rate changes
-  (the churn patterns of Experiments 2 and 3).
+  (the churn patterns of Experiments 2 and 3);
+* :mod:`~repro.workloads.stochastic` -- open-loop stochastic scenarios
+  (Poisson churn, flash crowds, heavy-tailed demand storms, link-capacity
+  dynamics), emitted as broadcastable action batches that replay identically
+  on every execution engine.
 """
 
 from repro.workloads.dynamics import DynamicPhase, PhaseOutcome, apply_phase
@@ -26,19 +30,37 @@ from repro.workloads.scenarios import (
     NetworkScenario,
     build_network,
 )
+from repro.workloads.stochastic import (
+    WORKLOADS,
+    CapacityDynamicsWorkload,
+    FlashCrowdWorkload,
+    HeavyTailedDemandWorkload,
+    PoissonChurnWorkload,
+    StochasticWorkload,
+    make_workload,
+    register_workload,
+)
 
 __all__ = [
+    "CapacityDynamicsWorkload",
     "DynamicPhase",
+    "FlashCrowdWorkload",
+    "HeavyTailedDemandWorkload",
     "HOST_LINK_CAPACITY",
     "HOST_LINK_DELAY",
     "NETWORK_SIZES",
     "NetworkScenario",
     "PhaseOutcome",
+    "PoissonChurnWorkload",
     "SessionSpec",
+    "StochasticWorkload",
+    "WORKLOADS",
     "WorkloadGenerator",
     "apply_phase",
     "build_network",
     "infinite_demand",
+    "make_workload",
     "mixed_demand",
+    "register_workload",
     "uniform_demand",
 ]

@@ -78,6 +78,7 @@ class PhaseOutcome(object):
         packets_after,
         active_after,
         rate_callbacks=0,
+        shortfalls=None,
     ):
         self.phase = phase
         self.start_time = start_time
@@ -89,6 +90,9 @@ class PhaseOutcome(object):
         self.packets_after = packets_after
         self.active_after = active_after
         self.rate_callbacks = rate_callbacks
+        # {"leaves"|"changes": (requested, applied)} for phases that asked for
+        # more victims than the live population could supply (empty otherwise).
+        self.shortfalls = {} if shortfalls is None else shortfalls
 
     @property
     def duration(self):
@@ -124,20 +128,37 @@ def phase_actions(
     then change times, then per-change demands, then join specs), so
     fixed-seed schedules are bit-identical to earlier releases.
 
-    Returns ``(actions, joined_ids, left_ids, changed_ids, remaining_ids)``
-    where ``actions`` is ordered leaves, changes, joins -- the order they must
-    be applied in -- and ``remaining_ids`` are the previously active sessions
-    that did not leave.
+    Returns ``(actions, joined_ids, left_ids, changed_ids, remaining_ids,
+    shortfalls)`` where ``actions`` is ordered leaves, changes, joins -- the
+    order they must be applied in -- ``remaining_ids`` are the previously
+    active sessions that did not leave, and ``shortfalls`` records any
+    phase request the live population could not supply
+    (``{"leaves"|"changes": (requested, applied)}``; empty when every request
+    was met).  Shortfalls are *surfaced*, not fatal: the sample is clamped to
+    the population, but the caller can see exactly how much churn was lost.
     """
     if change_demand_sampler is None:
         change_demand_sampler = demand_sampler
     active_ids = list(active_ids)
     window = (start_time, start_time + phase.window)
 
-    left_ids = generator.pick_sessions(active_ids, phase.leaves) if phase.leaves else []
+    left_ids = (
+        generator.pick_sessions(active_ids, phase.leaves, clamp=True)
+        if phase.leaves
+        else []
+    )
     left = set(left_ids)
     remaining = [session_id for session_id in active_ids if session_id not in left]
-    changed_ids = generator.pick_sessions(remaining, phase.changes) if phase.changes else []
+    changed_ids = (
+        generator.pick_sessions(remaining, phase.changes, clamp=True)
+        if phase.changes
+        else []
+    )
+    shortfalls = {}
+    if len(left_ids) < phase.leaves:
+        shortfalls["leaves"] = (phase.leaves, len(left_ids))
+    if len(changed_ids) < phase.changes:
+        shortfalls["changes"] = (phase.changes, len(changed_ids))
 
     actions = []
     for session_id, when in zip(left_ids, generator.random_times(len(left_ids), window)):
@@ -162,7 +183,7 @@ def phase_actions(
             )
         joined_ids = [spec.session_id for spec in specs]
 
-    return actions, joined_ids, left_ids, changed_ids, remaining
+    return actions, joined_ids, left_ids, changed_ids, remaining, shortfalls
 
 
 def apply_phase(
@@ -209,7 +230,7 @@ def apply_phase(
     # counter and report 0.
     callbacks_before = getattr(protocol, "rate_callbacks", 0)
 
-    actions, joined_ids, left_ids, changed_ids, remaining = phase_actions(
+    actions, joined_ids, left_ids, changed_ids, remaining, shortfalls = phase_actions(
         generator,
         phase,
         active_ids,
@@ -235,4 +256,5 @@ def apply_phase(
         packets_after=protocol.tracer.total,
         active_after=active_after,
         rate_callbacks=getattr(protocol, "rate_callbacks", 0) - callbacks_before,
+        shortfalls=shortfalls,
     )

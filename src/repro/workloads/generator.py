@@ -151,15 +151,36 @@ class WorkloadGenerator(object):
 
     # -------------------------------------------------------------- dynamics
 
-    def pick_sessions(self, session_ids, count):
-        """Choose ``count`` distinct sessions to act on (leave / change)."""
+    def pick_sessions(self, session_ids, count, clamp=False):
+        """Choose ``count`` distinct sessions to act on (leave / change).
+
+        Asking for more sessions than the population holds is an error by
+        default -- silently shrinking the sample used to under-report churn.
+        Pass ``clamp=True`` for best-effort sampling (the phase machinery does,
+        and records the shortfall in
+        :attr:`~repro.workloads.dynamics.PhaseOutcome.shortfalls`).
+        """
         session_ids = list(session_ids)
-        count = min(count, len(session_ids))
+        if count > len(session_ids):
+            if not clamp:
+                raise ValueError(
+                    "cannot pick %d sessions from a population of %d; shrink "
+                    "the request or pass clamp=True to sample best-effort"
+                    % (count, len(session_ids))
+                )
+            count = len(session_ids)
         return self.random_source.sample(session_ids, count)
 
     def random_times(self, count, window):
         """``count`` action times drawn uniformly from ``window``."""
         start, end = window
+        if end < start:
+            # An inverted window used to emit times *outside* the phase,
+            # which schedule_actions then scheduled in the past.
+            raise ValueError(
+                "random_times window start %r exceeds its end %r; pass the "
+                "window as (start, end) with start <= end" % (start, end)
+            )
         return [self.random_source.uniform(start, end) for _ in range(count)]
 
     def random_demand(self, demand_sampler=None):

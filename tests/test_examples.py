@@ -101,3 +101,27 @@ def test_experiment1_sweep_rejects_unknown_size():
     module = load_example("experiment1_sweep")
     with pytest.raises(SystemExit):
         module.parse_arguments(["--sizes", "galactic"])
+
+
+def test_stochastic_churn_default_workload(capsys):
+    module = load_example("stochastic_churn")
+    assert module.main([]) == 0
+    output = capsys.readouterr().out
+    assert "poisson-churn segment" in output
+    assert "sessions active at the end" in output
+
+
+def test_stochastic_churn_capacity_dynamics_parallel_engine(capsys):
+    module = load_example("stochastic_churn")
+    assert module.main(
+        ["--workload", "capacity-dynamics", "--engine", "sharded:2/parallel",
+         "--seed", "13"]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "capacity-dynamics restore" in output
+    assert "NO" not in output
+
+
+def test_stochastic_churn_rejects_bad_engine():
+    module = load_example("stochastic_churn")
+    assert module.main(["--engine", "sharded:0"]) == 2

@@ -153,3 +153,48 @@ def test_notified_rates_match_final_assignment(scenario):
     current = protocol.current_allocation()
     notified = protocol.notified_allocation()
     assert current.equals(notified)
+
+
+@st.composite
+def capacity_plan(draw):
+    """A protocol scenario plus a sequence of random link-capacity changes."""
+    router_count, capacities, sessions, _churn = draw(protocol_scenario())
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, router_count - 2),        # chain link index
+                st.sampled_from([0.1, 0.3, 0.7, 1.5]),   # factor of original Ce
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    return router_count, capacities, sessions, events
+
+
+@settings(max_examples=25, deadline=None)
+@given(capacity_plan())
+def test_capacity_changes_reconverge_to_waterfilling(plan):
+    """After every capacity-change quiescence point the distributed rates
+    match the water-filling oracle on the *updated* capacities (the extension
+    of Theorem 1 the capacity-dynamics workload relies on)."""
+    router_count, capacities, session_specs, events = plan
+    protocol = build_protocol(router_count, capacities)
+    # A livelock after a capacity change should fail loudly, not hang CI.
+    protocol.simulator.max_events = 2_000_000
+    install_sessions(protocol, session_specs, router_count)
+    protocol.run_until_quiescent()
+
+    for link_index, factor in events:
+        source, target = "r%d" % link_index, "r%d" % (link_index + 1)
+        new_capacity = capacities[link_index] * factor
+        protocol.change_capacity(source, target, new_capacity, both_directions=True)
+        protocol.run_until_quiescent()
+
+        assert protocol.quiescent
+        assert protocol.network.link(source, target).capacity == new_capacity
+        result = validate_against_oracle(protocol)
+        assert result.valid and result.matches_waterfilling, (
+            "rates diverge from water-filling after %s->%s x%s: %r"
+            % (source, target, factor, result)
+        )

@@ -124,10 +124,14 @@ class TestWorkloadGenerator(object):
         picked = generator.pick_sessions(["a", "b", "c", "d"], 2)
         assert len(picked) == 2
         assert len(set(picked)) == 2
-        assert generator.pick_sessions(["a"], 5) == ["a"]
+        with pytest.raises(ValueError, match="population of 1"):
+            generator.pick_sessions(["a"], 5)
+        assert generator.pick_sessions(["a"], 5, clamp=True) == ["a"]
         times = generator.random_times(3, (1.0, 2.0))
         assert len(times) == 3
         assert all(1.0 <= t <= 2.0 for t in times)
+        with pytest.raises(ValueError, match="exceeds its end"):
+            generator.random_times(3, (2.0, 1.0))
 
     def test_requires_two_attachment_routers(self):
         network = build_network("small", LAN, seed=1)
